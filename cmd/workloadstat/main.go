@@ -1,0 +1,66 @@
+// Command workloadstat characterises the synthetic SPEC-like benchmarks:
+// instruction mix, branch behaviour, and cache behaviour of the address
+// stream against the default hierarchy. Use it to inspect the SPEC CPU 2000
+// substitution described in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Uint64("insts", 500_000, "instructions to characterise per benchmark")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := config.Default()
+	fmt.Printf("%-10s %-8s %6s %6s %6s %7s %8s %8s %8s\n",
+		"bench", "suite", "loads", "stores", "branch", "mispred", "L1 hit", "L2 hit", "mem/1k")
+	for _, suite := range []workload.Suite{workload.SuiteInt, workload.SuiteFP} {
+		for _, p := range workload.SuiteOf(suite) {
+			g := p.New(*seed)
+			h := mem.NewHierarchy(&cfg)
+			var in isa.Inst
+			var loads, stores, branches, mispred uint64
+			var l1, l2, memA uint64
+			for i := uint64(0); i < *n; i++ {
+				g.Next(&in)
+				switch in.Op {
+				case isa.OpLoad, isa.OpStore:
+					if in.IsLoad() {
+						loads++
+					} else {
+						stores++
+					}
+					switch lvl, _ := h.Access(in.Addr); lvl {
+					case mem.LevelL1:
+						l1++
+					case mem.LevelL2:
+						l2++
+					default:
+						memA++
+					}
+				case isa.OpBranch:
+					branches++
+					if in.Mispred {
+						mispred++
+					}
+				}
+			}
+			tot := float64(*n)
+			acc := float64(l1 + l2 + memA)
+			fmt.Printf("%-10s %-8s %5.1f%% %5.1f%% %5.1f%% %6.2f%% %7.1f%% %7.1f%% %8.2f\n",
+				p.Name, suite,
+				100*float64(loads)/tot, 100*float64(stores)/tot,
+				100*float64(branches)/tot, 100*float64(mispred)/float64(branches),
+				100*float64(l1)/acc, 100*float64(l2)/acc,
+				1000*float64(memA)/tot)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Filter tuning: size the hash-based Epoch Resolution Table. Sweeps the
+// index width and reports false-positive rates (useless remote searches)
+// against hardware budget, then compares with the line-based filter — the
+// trade-off of Figure 8(a).
+//
+//	go run ./examples/filtertuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func run(cfg config.Config, bench string) *cpu.Result {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.MaxInsts = 80_000
+	sim, err := cpu.New(cfg, prof.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim.Run()
+}
+
+func main() {
+	benches := []string{"gcc", "applu", "gap"}
+	fmt.Println("Hash-ERT sizing (false positives per 100M insts, mean of",
+		benches, "):")
+	fmt.Printf("%8s %10s %16s %12s\n", "bits", "budget", "false positives", "IPC")
+	for _, bits := range []int{6, 8, 10, 12, 14} {
+		cfg := config.Default()
+		cfg.ERTHashBits = bits
+		var fp, ipc float64
+		for _, b := range benches {
+			r := run(cfg, b)
+			fp += stats.Per100M(r.Counters.Get("ert_false_positive"), r.Committed)
+			ipc += r.IPC
+		}
+		fmt.Printf("%8d %9dB %16.0f %12.3f\n",
+			bits, 2*2*(1<<uint(bits)), fp/float64(len(benches)), ipc/float64(len(benches)))
+	}
+
+	fmt.Println("\nLine-based filter (budget = 2 bits x 2 tables per L1 line):")
+	cfg := config.Default()
+	cfg.ERT = config.ERTLine
+	var fp, ipc float64
+	for _, b := range benches {
+		r := run(cfg, b)
+		fp += stats.Per100M(r.Counters.Get("ert_false_positive"), r.Committed)
+		ipc += r.IPC
+	}
+	fmt.Printf("%8s %9dB %16.0f %12.3f\n", "line",
+		2*2*cfg.L1.Lines(), fp/float64(len(benches)), ipc/float64(len(benches)))
+	fmt.Println("\nShape to observe: false positives fall steeply with bits; ~10 bits")
+	fmt.Println("(a 4KB budget) is the paper's sweet spot; accuracy, not IPC, moves —")
+	fmt.Println("the filter guards power, not the critical path.")
+}

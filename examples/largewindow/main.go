@@ -1,0 +1,56 @@
+// Large-window anatomy: sweep the number of memory engines (epochs) and
+// watch the effective instruction window grow — and with it, the memory-
+// level parallelism of a streaming workload. Also shows the execution-
+// locality split (Figure 1's statistic) per benchmark.
+//
+//	go run ./examples/largewindow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func main() {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("art (stream, heavy misses): IPC vs number of memory engines")
+	fmt.Printf("%8s %10s %8s\n", "epochs", "window", "IPC")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := config.Default()
+		cfg.NumEpochs = n
+		cfg.MaxInsts = 80_000
+		sim, err := cpu.New(cfg, prof.New(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := sim.Run()
+		fmt.Printf("%8d %10d %8.3f\n", n, cfg.WindowSize(), r.IPC)
+	}
+
+	fmt.Println("\nExecution locality (fraction of address calcs within 30 cycles of decode):")
+	for _, name := range []string{"swim", "sixtrack", "gcc", "mcf", "equake"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := config.Default()
+		cfg.MaxInsts = 60_000
+		sim, err := cpu.New(cfg, p.New(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := sim.Run()
+		fmt.Printf("  %-10s loads %5.1f%%   stores %5.1f%%\n",
+			name, 100*r.LoadDist.FracWithin(30), 100*r.StoreDist.FracWithin(30))
+	}
+	fmt.Println("\nPointer codes (mcf, equake) have the long tails that populate the")
+	fmt.Println("LL-LSQ; stream and cache-resident codes stay high-locality.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one benchmark on the Epoch-based LSQ and on the
+// conventional 64-entry-ROB baseline, and print the headline comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Pick a memory-level-parallel benchmark: the swim-like stream kernel.
+	prof, err := workload.ByName("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The conventional baseline: 64-entry ROB, finite CAM LSQ.
+	baseline := config.OoO64()
+	baseline.MaxInsts = 100_000
+
+	// The paper's system: FMC large-window processor with the ELSQ
+	// (hash-based ERT, Store Queue Mirror) — config.Default() is Table 1.
+	elsq := config.Default()
+	elsq.MaxInsts = 100_000
+
+	for _, cfg := range []config.Config{baseline, elsq} {
+		sim, err := cpu.New(cfg, prof.New(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := sim.Run()
+		fmt.Printf("%-14s IPC %.3f  (%d insts, %d cycles)\n",
+			r.Config, r.IPC, r.Committed, r.Cycles)
+		if cfg.Model == config.ModelFMC {
+			fmt.Printf("%-14s epochs allocated on average: %.2f, LL-LSQ idle %.0f%%\n",
+				"", r.AvgEpochs, 100*r.LLIdleFrac)
+		}
+	}
+	fmt.Println("\nThe large window overlaps the stream's independent memory misses;")
+	fmt.Println("the ELSQ supplies the window's disambiguation at small-queue cost.")
+}

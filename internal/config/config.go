@@ -1,0 +1,364 @@
+// Package config defines every tunable of the modelled processors and the
+// defaults from Table 1 of the paper. Experiments derive variants from
+// Default() rather than constructing configs from scratch, so each figure's
+// sweep changes exactly the parameters the paper sweeps.
+package config
+
+import "fmt"
+
+// Model selects the host microarchitecture.
+type Model uint8
+
+const (
+	// ModelOoO is the conventional speculative out-of-order processor with a
+	// 64-entry ROB ("OoO-64" in the paper), i.e. FMC with the Memory
+	// Processor disabled.
+	ModelOoO Model = iota
+	// ModelFMC is the Flexible MultiCore: Cache Processor + Memory Engines,
+	// emulating a window of around 1500 in-flight instructions.
+	ModelFMC
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	if m == ModelOoO {
+		return "OoO-64"
+	}
+	return "FMC"
+}
+
+// LSQScheme selects the load/store-queue organisation under test.
+type LSQScheme uint8
+
+const (
+	// LSQCentral is the idealised unlimited single-cycle centralized LSQ
+	// located in the Cache Processor.
+	LSQCentral LSQScheme = iota
+	// LSQConventional is a finite age-indexed CAM LQ/SQ (the OoO-64 queue).
+	LSQConventional
+	// LSQELSQ is the paper's Epoch-based Load/Store Queue.
+	LSQELSQ
+	// LSQSVW removes the associative load queue and uses Store Vulnerability
+	// Window re-execution instead.
+	LSQSVW
+)
+
+// String implements fmt.Stringer.
+func (s LSQScheme) String() string {
+	switch s {
+	case LSQCentral:
+		return "central"
+	case LSQConventional:
+		return "conventional"
+	case LSQELSQ:
+		return "elsq"
+	case LSQSVW:
+		return "svw"
+	default:
+		return fmt.Sprintf("lsq(%d)", uint8(s))
+	}
+}
+
+// ERTKind selects the global-disambiguation filter of the ELSQ.
+type ERTKind uint8
+
+const (
+	// ERTLine is the L1-cache-line-based Epoch Resolution Table (requires
+	// locking referenced lines in the L1).
+	ERTLine ERTKind = iota
+	// ERTHash is the address-hash (Bloom-style) ERT, decoupled from the L1.
+	ERTHash
+)
+
+// String implements fmt.Stringer.
+func (k ERTKind) String() string {
+	if k == ERTLine {
+		return "line"
+	}
+	return "hash"
+}
+
+// Disambiguation selects the restricted disambiguation model (Section 3.3).
+type Disambiguation uint8
+
+const (
+	// DisambFull lets loads and stores compute addresses and disambiguate in
+	// both locality levels.
+	DisambFull Disambiguation = iota
+	// DisambRSAC restricts store address calculation to the HL-LSQ: a store
+	// with an unresolved address stalls migration of younger memory
+	// references. Removes the Load-ERT.
+	DisambRSAC
+	// DisambRLAC restricts load address calculation to the HL-LSQ.
+	DisambRLAC
+	// DisambRSACLAC restricts both.
+	DisambRSACLAC
+)
+
+// String implements fmt.Stringer.
+func (d Disambiguation) String() string {
+	switch d {
+	case DisambFull:
+		return "full"
+	case DisambRSAC:
+		return "rsac"
+	case DisambRLAC:
+		return "rlac"
+	case DisambRSACLAC:
+		return "rsac+rlac"
+	default:
+		return fmt.Sprintf("disamb(%d)", uint8(d))
+	}
+}
+
+// SVWVariant selects how SVW decides whether a forwarded load must
+// re-execute (Section 5.6).
+type SVWVariant uint8
+
+const (
+	// SVWBlind uses only the SSBF filter.
+	SVWBlind SVWVariant = iota
+	// SVWCheckStores additionally applies the no-unresolved-store filter.
+	SVWCheckStores
+)
+
+// String implements fmt.Stringer.
+func (v SVWVariant) String() string {
+	if v == SVWBlind {
+		return "blind"
+	}
+	return "checkstores"
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache-line size.
+	LineBytes int
+	// LatencyCycles is the load-to-use hit latency.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Lines returns the total number of lines.
+func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Config carries every parameter of a simulation run. The zero value is not
+// usable; start from Default().
+type Config struct {
+	// Model selects OoO-64 vs FMC.
+	Model Model
+	// LSQ selects the queue organisation.
+	LSQ LSQScheme
+
+	// FetchWidth is the fetch/decode bandwidth in instructions per cycle.
+	FetchWidth int
+	// CommitWidth is the maximum commits per cycle.
+	CommitWidth int
+	// ROBSize is the Cache Processor reorder-buffer size.
+	ROBSize int
+	// IntIQ and FpIQ are the CP issue-queue capacities.
+	IntIQ, FpIQ int
+	// IntRegs and FpRegs are the CP physical register counts.
+	IntRegs, FpRegs int
+	// CachePorts is the number of read/write L1 ports.
+	CachePorts int
+
+	// NumEpochs is the number of LL-LSQ epochs == memory engines ==
+	// checkpoints (FMC only).
+	NumEpochs int
+	// EpochMaxInsts is the per-epoch instruction budget (all classes).
+	EpochMaxInsts int
+	// EpochMaxLoads and EpochMaxStores cap the per-ME load/store queues.
+	EpochMaxLoads, EpochMaxStores int
+	// MEIssueWidth is the in-order issue width of a memory engine.
+	MEIssueWidth int
+	// MEIQ is the memory-engine issue-queue size.
+	MEIQ int
+
+	// HLLQSize and HLSQSize are the high-locality load/store queue sizes.
+	HLLQSize, HLSQSize int
+
+	// L1, L2 describe the cache hierarchy.
+	L1, L2 CacheConfig
+	// MemLatency is the main-memory access time in cycles.
+	MemLatency int
+
+	// BusOneWay is the CP<->MP one-way trip latency in cycles.
+	BusOneWay int
+	// MeshHop is the per-hop latency between memory engines in cycles.
+	MeshHop int
+
+	// ERT selects the global-disambiguation filter (ELSQ only).
+	ERT ERTKind
+	// ERTHashBits is the address-hash width for ERTHash.
+	ERTHashBits int
+	// SQM enables the Store Queue Mirror.
+	SQM bool
+	// Disamb selects the restricted disambiguation model.
+	Disamb Disambiguation
+
+	// SSBFBits is the Store Sequence Bloom Filter index width (SVW only).
+	SSBFBits int
+	// SVW selects Blind vs CheckStores.
+	SVW SVWVariant
+
+	// MigrateThreshold is the source-readiness slack (cycles beyond
+	// dispatch) past which an instruction is classified low-locality and
+	// migrated to a memory engine. It models the Virtual-ROB extraction
+	// point: an instruction is pulled out when it reaches the head of the
+	// partial ROB unexecuted, roughly the ROB drain time — long enough
+	// that L2 hits and ordinary dependence chains execute in the Cache
+	// Processor, short enough that memory misses (hundreds of cycles)
+	// always migrate.
+	MigrateThreshold int
+
+	// MispredictPenalty is the front-end redirect cost after branch
+	// resolution.
+	MispredictPenalty int
+
+	// MaxInsts is the number of committed instructions to measure per
+	// benchmark (after warm-up).
+	MaxInsts uint64
+	// WarmupInsts is the number of committed instructions executed before
+	// measurement starts, so caches and predictor-equivalent state reach
+	// steady state (the paper measures SimPoints of already-warm
+	// execution).
+	WarmupInsts uint64
+}
+
+// Default returns the Table 1 configuration: 4-way fetch, 64-entry CP ROB,
+// 16 memory engines of 128 instructions (64 loads / 32 stores), 40-entry
+// IQs, 96+96 registers, 2-ported 32KB 4-way L1 (1 cycle), 2MB 4-way L2
+// (10 cycles), 400-cycle memory, 4-cycle one-way bus, 1 cycle/hop mesh.
+func Default() Config {
+	return Config{
+		Model:             ModelFMC,
+		LSQ:               LSQELSQ,
+		FetchWidth:        4,
+		CommitWidth:       4,
+		ROBSize:           64,
+		IntIQ:             40,
+		FpIQ:              40,
+		IntRegs:           96,
+		FpRegs:            96,
+		CachePorts:        2,
+		NumEpochs:         16,
+		EpochMaxInsts:     128,
+		EpochMaxLoads:     64,
+		EpochMaxStores:    32,
+		MEIssueWidth:      2,
+		MEIQ:              20,
+		HLLQSize:          32,
+		HLSQSize:          24,
+		L1:                CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 32, LatencyCycles: 1},
+		L2:                CacheConfig{SizeBytes: 2 << 20, Ways: 4, LineBytes: 32, LatencyCycles: 10},
+		MemLatency:        400,
+		BusOneWay:         4,
+		MeshHop:           1,
+		ERT:               ERTHash,
+		ERTHashBits:       10,
+		SQM:               true,
+		Disamb:            DisambFull,
+		SSBFBits:          10,
+		SVW:               SVWBlind,
+		MigrateThreshold:  48,
+		MispredictPenalty: 8,
+		MaxInsts:          200_000,
+		WarmupInsts:       2_000_000,
+	}
+}
+
+// OoO64 returns the conventional baseline: the FMC with the Memory Processor
+// disabled — a 64-entry-ROB 4-way out-of-order core with a conventional
+// finite LSQ matching the Cache Processor's parameters.
+func OoO64() Config {
+	c := Default()
+	c.Model = ModelOoO
+	c.LSQ = LSQConventional
+	return c
+}
+
+// Validate reports the first configuration error found, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0:
+		return fmt.Errorf("config: FetchWidth must be positive, got %d", c.FetchWidth)
+	case c.CommitWidth <= 0:
+		return fmt.Errorf("config: CommitWidth must be positive, got %d", c.CommitWidth)
+	case c.ROBSize <= 0:
+		return fmt.Errorf("config: ROBSize must be positive, got %d", c.ROBSize)
+	case c.CachePorts <= 0:
+		return fmt.Errorf("config: CachePorts must be positive, got %d", c.CachePorts)
+	case c.Model == ModelFMC && c.NumEpochs <= 0:
+		return fmt.Errorf("config: FMC needs NumEpochs > 0, got %d", c.NumEpochs)
+	case c.Model == ModelFMC && c.EpochMaxInsts <= 0:
+		return fmt.Errorf("config: FMC needs EpochMaxInsts > 0, got %d", c.EpochMaxInsts)
+	case c.L1.SizeBytes <= 0 || c.L1.Ways <= 0 || c.L1.LineBytes <= 0:
+		return fmt.Errorf("config: invalid L1 geometry %+v", c.L1)
+	case c.L2.SizeBytes <= 0 || c.L2.Ways <= 0 || c.L2.LineBytes <= 0:
+		return fmt.Errorf("config: invalid L2 geometry %+v", c.L2)
+	case c.L1.Sets()&(c.L1.Sets()-1) != 0:
+		return fmt.Errorf("config: L1 set count %d is not a power of two", c.L1.Sets())
+	case c.L2.Sets()&(c.L2.Sets()-1) != 0:
+		return fmt.Errorf("config: L2 set count %d is not a power of two", c.L2.Sets())
+	case c.LSQ == LSQELSQ && c.ERT == ERTHash && (c.ERTHashBits < 1 || c.ERTHashBits > 24):
+		return fmt.Errorf("config: ERTHashBits %d out of range [1,24]", c.ERTHashBits)
+	case c.LSQ == LSQSVW && (c.SSBFBits < 1 || c.SSBFBits > 24):
+		return fmt.Errorf("config: SSBFBits %d out of range [1,24]", c.SSBFBits)
+	case c.MaxInsts == 0:
+		return fmt.Errorf("config: MaxInsts must be positive")
+	}
+	return nil
+}
+
+// Name returns a short human-readable identifier for the configuration, in
+// the style of the paper's Table 2 row labels (e.g. "FMC-Hash-SQM",
+// "OoO-64-SVW").
+func (c *Config) Name() string {
+	if c.Model == ModelOoO {
+		if c.LSQ == LSQSVW {
+			return "OoO-64-SVW"
+		}
+		return "OoO-64"
+	}
+	switch c.LSQ {
+	case LSQCentral:
+		return "FMC-Central"
+	case LSQSVW:
+		return "FMC-Hash-SVW"
+	case LSQELSQ:
+		name := "FMC-Line"
+		if c.ERT == ERTHash {
+			name = "FMC-Hash"
+		}
+		if c.Disamb == DisambRSAC {
+			name += "-RSAC"
+		} else if c.Disamb == DisambRLAC {
+			name += "-RLAC"
+		} else if c.Disamb == DisambRSACLAC {
+			name += "-RSACLAC"
+		}
+		if c.SQM {
+			name += "+SQM"
+		}
+		return name
+	default:
+		return fmt.Sprintf("FMC-%s", c.LSQ)
+	}
+}
+
+// WindowSize returns the total in-flight instruction capacity of the model:
+// ROB only for OoO, ROB plus all epochs for FMC (~1500 by default, hence the
+// paper's "around 1500 in-flight instructions").
+func (c *Config) WindowSize() int {
+	if c.Model == ModelOoO {
+		return c.ROBSize
+	}
+	return c.ROBSize + c.NumEpochs*c.EpochMaxInsts
+}

@@ -1,0 +1,462 @@
+// Package core implements the paper's contribution: the Epoch-based
+// Load/Store Queue (ELSQ), a two-level LSQ organised around Execution
+// Locality.
+//
+// High-locality memory instructions live in small conventional CAM queues
+// (HL-LQ/HL-SQ) next to the Cache Processor. Low-locality (miss-dependent)
+// instructions migrate, in age order, into epochs — per-memory-engine banks
+// of the LL-LSQ. Disambiguation is two-level (Section 3.4): a load first
+// searches its local store queue (HL-SQ for high-locality loads, its own
+// epoch's LL-SQ for low-locality loads); on a local miss, a global search is
+// guarded by the Epoch Resolution Table (ERT), a per-epoch bit-vector filter
+// indexed either by address hash (Bloom-style) or by L1 cache line — the
+// latter requiring referenced lines to be allocated and locked in the L1.
+// The optional Store Queue Mirror (SQM, Section 4) replicates LL store
+// state next to the ERT so high-locality loads forward from low-locality
+// stores without a CP<->MP network round trip.
+//
+// Restricted disambiguation (Section 3.3) is split between this package and
+// the pipeline model: the structural consequences (which ERTs exist and are
+// searched) are handled here, while the migration stalls (RSAC) and address-
+// calculation stalls (RLAC) are enforced by the pipeline.
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/lsq"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// ertLockStallCycles is the retry interval when a high-locality insertion
+// cannot allocate an L1 line because every way of the set is locked
+// (line-based ERT only). The paper stalls the insertion until a line
+// unlocks; epochs unlock lines at commit, so a fraction of the L2 round
+// trip is a representative retry quantum.
+const ertLockStallCycles = 40
+
+// ELSQ is the Epoch-based Load/Store Queue.
+type ELSQ struct {
+	cfg  *config.Config
+	bus  *noc.Bus
+	mesh *noc.Mesh
+	l1   *mem.Cache
+
+	// ert holds the two bit-vector tables (loads and stores); entries are
+	// hash buckets or L1 line slots depending on cfg.ERT.
+	ert *filter.EpochBitTable
+
+	// activeVirtual maps a physical epoch bank to the virtual (monotonic)
+	// epoch id currently occupying it, or -1.
+	activeVirtual []int64
+
+	// releaseAt[p] is the cycle bank p's occupant fully committed (0 = still
+	// live). The bank's filter state is invisible to searches at or after
+	// this cycle and is physically cleared when the bank is reclaimed —
+	// program-order processing computes commit times ahead of younger
+	// instructions' issue times, so clearing must be timestamp-guarded.
+	releaseAt []int64
+
+	// lockedSlots records, per physical bank, the L1 slots this epoch
+	// locked (line-based ERT), released on epoch commit or squash.
+	lockedSlots [][]mem.LineSlot
+
+	// noLQ removes the associative load queues (SVW composition): stores
+	// perform no violation searches and the Load-ERT is absent.
+	noLQ bool
+
+	c *stats.Counters
+}
+
+// Option configures optional ELSQ behaviour.
+type Option func(*ELSQ)
+
+// WithoutLoadQueue removes the associative load queue (used when composing
+// with SVW re-execution, Section 3.5).
+func WithoutLoadQueue() Option { return func(e *ELSQ) { e.noLQ = true } }
+
+// New builds the ELSQ for the given configuration over the FMC interconnect
+// and (for the line-based ERT) the L1 cache.
+func New(cfg *config.Config, bus *noc.Bus, mesh *noc.Mesh, l1 *mem.Cache, opts ...Option) *ELSQ {
+	var table *filter.EpochBitTable
+	if cfg.ERT == config.ERTLine {
+		table = filter.NewEpochBitTable(l1.NumSlots(), cfg.NumEpochs)
+	} else {
+		table = filter.NewEpochBitTable(1<<uint(cfg.ERTHashBits), cfg.NumEpochs)
+	}
+	e := &ELSQ{
+		cfg:           cfg,
+		bus:           bus,
+		mesh:          mesh,
+		l1:            l1,
+		ert:           table,
+		activeVirtual: make([]int64, cfg.NumEpochs),
+		releaseAt:     make([]int64, cfg.NumEpochs),
+		lockedSlots:   make([][]mem.LineSlot, cfg.NumEpochs),
+		c:             stats.NewCounters(),
+	}
+	for i := range e.activeVirtual {
+		e.activeVirtual[i] = -1
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements lsq.Scheme.
+func (e *ELSQ) Name() string { return e.cfg.Name() }
+
+// Counters implements lsq.Scheme.
+func (e *ELSQ) Counters() *stats.Counters { return e.c }
+
+// physical returns the bank holding virtual epoch v.
+func (e *ELSQ) physical(v int64) int { return int(v % int64(e.cfg.NumEpochs)) }
+
+// ertIndex maps an address to its ERT index. For the line-based ERT the
+// line must be resident in the L1; ok=false means no ERT state can exist
+// for the address (and hence no filter hit).
+func (e *ELSQ) ertIndex(addr uint64) (int, bool) {
+	if e.cfg.ERT == config.ERTHash {
+		return filter.HashIndex(addr, e.cfg.ERTHashBits), true
+	}
+	slot, hit := e.l1.Lookup(addr)
+	if !hit {
+		return 0, false
+	}
+	return e.l1.SlotIndex(slot), true
+}
+
+// claim makes bank phys belong to virtual epoch v, physically clearing the
+// previous occupant's filter state (its release time has necessarily
+// passed: the bank-free constraint orders reuse after commit).
+func (e *ELSQ) claim(phys int, v int64) {
+	if e.activeVirtual[phys] == v {
+		return
+	}
+	if e.activeVirtual[phys] >= 0 {
+		e.ert.ClearEpoch(phys)
+		for _, s := range e.lockedSlots[phys] {
+			e.l1.Unlock(s)
+		}
+		e.lockedSlots[phys] = e.lockedSlots[phys][:0]
+	}
+	e.activeVirtual[phys] = v
+	e.releaseAt[phys] = 0
+}
+
+// liveAt reports whether bank phys holds a still-uncommitted epoch at t.
+func (e *ELSQ) liveAt(phys int, t int64) bool {
+	return e.releaseAt[phys] == 0 || e.releaseAt[phys] > t
+}
+
+// insert records an op with a known address into the ERT (and locks its L1
+// line for the line-based variant). It returns a stall in cycles when the
+// line cannot be allocated and canStall is true; with canStall false the
+// caller must squash instead (ok=false).
+func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
+	phys := e.physical(int64(op.Epoch))
+	e.claim(phys, int64(op.Epoch))
+	idx := 0
+	if e.cfg.ERT == config.ERTLine {
+		slot, hit := e.l1.Lookup(op.Addr)
+		if !hit {
+			var allocated bool
+			slot, allocated = e.l1.Allocate(op.Addr)
+			for !allocated {
+				if !canStall {
+					e.c.Inc("ert_lock_squash")
+					return 0, false
+				}
+				// Stall the insertion until a line unlocks; model as a
+				// fixed retry quantum and force an unlock by charging the
+				// stall (the oldest epoch commits within it in practice).
+				e.c.Inc("ert_lock_stall")
+				stall += ertLockStallCycles
+				if stall >= ertLockStallCycles*int64(e.cfg.NumEpochs) {
+					// Pathological set pressure: give up and bypass the
+					// filter for this op (counted; negligible at sane
+					// associativity, dominant at 1-way — Figure 8b/c).
+					e.c.Inc("ert_lock_bypass")
+					return stall, true
+				}
+				slot, allocated = e.l1.Allocate(op.Addr)
+				if !allocated {
+					// Evict the oldest epoch's first locked slot to make
+					// progress, mirroring the eventual unlock at commit.
+					e.forceUnlockOne()
+				}
+			}
+		}
+		e.l1.Lock(slot)
+		e.lockedSlots[phys] = append(e.lockedSlots[phys], slot)
+		idx = e.l1.SlotIndex(slot)
+	} else {
+		idx = filter.HashIndex(op.Addr, e.cfg.ERTHashBits)
+	}
+	if op.Store {
+		e.ert.SetStore(idx, phys)
+		if e.cfg.SQM {
+			e.c.Inc("sqm_update")
+		}
+	} else if !e.noLQ && e.cfg.Disamb != config.DisambRSAC {
+		// The Load-ERT exists only when stores perform global violation
+		// searches (full disambiguation or RLAC).
+		e.ert.SetLoad(idx, phys)
+	}
+	return stall, true
+}
+
+// forceUnlockOne releases the oldest locked slot across banks; used only to
+// guarantee forward progress under pathological line-locking pressure.
+func (e *ELSQ) forceUnlockOne() {
+	oldest := int64(1<<62 - 1)
+	bank := -1
+	for p, v := range e.activeVirtual {
+		if v >= 0 && len(e.lockedSlots[p]) > 0 && v < oldest {
+			oldest = v
+			bank = p
+		}
+	}
+	if bank < 0 {
+		return
+	}
+	s := e.lockedSlots[bank][0]
+	e.lockedSlots[bank] = e.lockedSlots[bank][1:]
+	e.l1.Unlock(s)
+}
+
+// Migrate implements lsq.Scheme: the op enters epoch op.Epoch. Stores
+// migrate whenever the Memory Processor is active (they must buffer until
+// commit); loads migrate only when miss-dependent (completed loads release
+// their HL-LQ entry early instead). Accesses are counted as LL-queue
+// insertions — the dominant term of the Table 2 LL-SQ column. Ops whose
+// address is already known are inserted into the ERT immediately; the rest
+// insert at address resolution via AddrKnownInLL.
+func (e *ELSQ) Migrate(op *lsq.MemOp, t int64) int64 {
+	if op.Store {
+		e.c.Inc("ll_sq")
+	} else {
+		e.c.Inc("ll_lq")
+	}
+	if op.AddrReady <= t {
+		stall, _ := e.insert(op, true)
+		return stall
+	}
+	// Claim the bank even when the address is unknown so age mapping holds.
+	e.claim(e.physical(int64(op.Epoch)), int64(op.Epoch))
+	return 0
+}
+
+// AddrKnownInLL implements lsq.Scheme: an op resolved its address while in
+// the LL-LSQ. For the line-based ERT a lock overflow here cannot stall
+// (younger locks may be held by younger loads — the deadlock case of
+// Section 3.4) and squashes instead.
+func (e *ELSQ) AddrKnownInLL(op *lsq.MemOp, t int64) bool {
+	_, ok := e.insert(op, false)
+	return !ok
+}
+
+// EpochCommitted implements lsq.Scheme: the epoch's two ERT columns become
+// invisible from cycle t on and its line locks are released — the
+// bulk-release that makes ELSQ checkpoint recovery cheap compared to the
+// HSQ's per-store counter decrements. Bit clearing is deferred to bank
+// reclaim (timestamp-guarded via releaseAt), but locks must drop at commit:
+// they gate L1 replacement, and holding them to bank reuse would starve the
+// cache.
+func (e *ELSQ) EpochCommitted(epoch int, t int64) {
+	phys := e.physical(int64(epoch))
+	if e.activeVirtual[phys] != int64(epoch) {
+		return
+	}
+	e.releaseAt[phys] = t
+	for _, s := range e.lockedSlots[phys] {
+		e.l1.Unlock(s)
+	}
+	e.lockedSlots[phys] = e.lockedSlots[phys][:0]
+}
+
+// EpochSquashed implements lsq.Scheme: discard the epoch's filter state
+// immediately.
+func (e *ELSQ) EpochSquashed(epoch int) {
+	phys := e.physical(int64(epoch))
+	if e.activeVirtual[phys] != int64(epoch) {
+		return
+	}
+	e.ert.ClearEpoch(phys)
+	for _, s := range e.lockedSlots[phys] {
+		e.l1.Unlock(s)
+	}
+	e.lockedSlots[phys] = e.lockedSlots[phys][:0]
+	e.activeVirtual[phys] = -1
+	e.releaseAt[phys] = 0
+}
+
+// LoadIssue implements lsq.Scheme: two-level disambiguation for a load.
+func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadResult {
+	// One pass over the candidate stores: the youngest match still in the
+	// HL-SQ at t, and the youngest match per virtual epoch. Candidates are
+	// ascending by age, so later assignments win.
+	var hlMatch *lsq.MemOp
+	epochMatch := map[int64]*lsq.MemOp{}
+	for _, st := range ix.Candidates(ld, t) {
+		if st.MigrateAt == 0 || st.MigrateAt > t {
+			hlMatch = st
+		} else {
+			epochMatch[int64(st.Epoch)] = st
+		}
+	}
+	ld.UnresolvedOlderStore = ix.Unresolved(ld, t)
+
+	// Level 1: local search.
+	if ld.Epoch == lsq.HLEpoch {
+		e.c.Inc("hl_sq")
+		if hlMatch != nil {
+			return lsq.Resolve(ld, hlMatch, t)
+		}
+	} else {
+		e.c.Inc("ll_sq")
+		if m := epochMatch[int64(ld.Epoch)]; m != nil {
+			// Local same-epoch forwarding: no global search, no network.
+			e.c.Inc("ll_forward_local")
+			return lsq.Resolve(ld, m, t)
+		}
+	}
+
+	// Level 2: global search, guarded by the Store-ERT.
+	e.c.Inc("ert")
+	idx, present := e.ertIndex(ld.Addr)
+	if !present {
+		return lsq.LoadResult{} // line not resident => no LL store to it
+	}
+	mask := e.ert.StoreMask(idx)
+	if mask == 0 {
+		return lsq.LoadResult{}
+	}
+
+	// Candidate epochs older than the load, youngest first.
+	candidates := e.candidateEpochs(mask, ld, t)
+	if len(candidates) == 0 {
+		return lsq.LoadResult{}
+	}
+
+	var extra int64
+	if ld.Epoch == lsq.HLEpoch {
+		if e.cfg.SQM {
+			// The SQM sits next to the ERT: one extra cycle, no trip.
+			extra = 1
+			e.c.Inc("sqm_search")
+		} else {
+			extra = int64(e.bus.RoundTrip())
+			e.c.Inc("roundtrip")
+		}
+	}
+
+	prev := -1
+	if ld.Epoch != lsq.HLEpoch {
+		prev = e.physical(int64(ld.Epoch))
+	}
+	for _, v := range candidates {
+		e.c.Inc("ll_sq")
+		extra++ // sequential epoch search
+		if ld.Epoch != lsq.HLEpoch && prev >= 0 {
+			extra += int64(e.mesh.Traverse(prev, e.physical(v)))
+		}
+		prev = e.physical(v)
+		if m := epochMatch[v]; m != nil {
+			e.c.Inc("ll_forward_global")
+			res := lsq.Resolve(ld, m, t+extra)
+			res.ExtraLatency = extra
+			return res
+		}
+		e.c.Inc("ert_false_positive")
+	}
+	return lsq.LoadResult{ExtraLatency: extra}
+}
+
+// candidateEpochs converts an ERT bank mask into the virtual epochs older
+// than ld and still uncommitted at t, youngest first (the paper's search
+// order).
+func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
+	var out []int64
+	for _, phys := range filter.EpochsOf(mask) {
+		v := e.activeVirtual[phys]
+		if v < 0 || !e.liveAt(phys, t) {
+			continue // stale bank bit (cleared or committed epoch)
+		}
+		if ld.Epoch != lsq.HLEpoch && v >= int64(ld.Epoch) {
+			continue // only strictly older epochs hold older stores
+		}
+		out = append(out, v)
+	}
+	// Youngest (highest virtual id) first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	// Insertion order of EpochsOf is ascending physical, not virtual; sort
+	// descending by virtual id (N<=16, simple insertion sort).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StoreAddrReady implements lsq.Scheme: violation detection at store
+// address resolution.
+func (e *ELSQ) StoreAddrReady(st *lsq.MemOp, younger []*lsq.MemOp, t int64) lsq.StoreResult {
+	if e.noLQ {
+		return lsq.StoreResult{} // SVW: re-execution catches violations
+	}
+	if st.MigrateAt == 0 || st.AddrReady <= st.MigrateAt {
+		// The store's address resolved while it was still in the HL-LSQ
+		// (or it never migrates): the violation check is a plain HL-LQ
+		// search at issue — every younger issued load was high-locality at
+		// that point. This is the common case Figure 1 predicts: store
+		// addresses rarely depend on misses.
+		e.c.Inc("hl_lq")
+		if ld := lsq.FindViolation(st, younger, t); ld != nil {
+			return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
+		}
+		return lsq.StoreResult{}
+	}
+	// Low-locality store (full disambiguation or RLAC): local epoch search,
+	// then Load-ERT guarded searches of younger epochs, then the HL-LQ.
+	// Under RSAC stores never reach the LL-LSQ, so this path never runs.
+	e.c.Inc("ll_lq")
+	local := make([]*lsq.MemOp, 0, 8)
+	remote := make([]*lsq.MemOp, 0, 8)
+	for _, ld := range younger {
+		if ld.Epoch == st.Epoch {
+			local = append(local, ld)
+		} else {
+			remote = append(remote, ld)
+		}
+	}
+	if ld := lsq.FindViolation(st, local, t); ld != nil {
+		return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
+	}
+	e.c.Inc("ert")
+	idx, present := e.ertIndex(st.Addr)
+	if present {
+		mask := e.ert.LoadMask(idx)
+		for _, phys := range filter.EpochsOf(mask) {
+			v := e.activeVirtual[phys]
+			if v < 0 || v <= int64(st.Epoch) || !e.liveAt(phys, t) {
+				continue // only live younger epochs can hold violating loads
+			}
+			e.c.Inc("ll_lq")
+		}
+	}
+	// The HL-LQ holds the youngest loads; an LL store must check it (one
+	// network trip from the memory engine to the CP).
+	e.c.Inc("hl_lq")
+	e.c.Inc("roundtrip")
+	if ld := lsq.FindViolation(st, remote, t); ld != nil {
+		return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
+	}
+	return lsq.StoreResult{}
+}

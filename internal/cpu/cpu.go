@@ -1,0 +1,607 @@
+// Package cpu is the cycle-level timing model hosting the LSQ schemes: a
+// 4-way out-of-order Cache Processor (64-entry ROB, 40+40 issue-queue
+// entries, 2 cache ports) optionally coupled to the FMC Memory Processor
+// (16 in-order 2-way memory engines, one epoch each) — Table 1 of the
+// paper.
+//
+// The model is a deterministic program-order sweep with resource calendars:
+// for each dynamic instruction, dispatch is bounded by fetch bandwidth and
+// structure occupancy (rings), readiness follows register dataflow, issue
+// reserves ports/width at the earliest free cycle, completion feeds
+// dependents, and commit is in-order and width-limited. Mispredicted
+// branches inject wrong-path instructions that occupy the pipeline, search
+// the queues and pollute the caches until branch resolution. Low-locality
+// classification follows the execution-locality rule: an instruction whose
+// operands become ready more than MigrateThreshold cycles after dispatch
+// (or a load that misses in the L2) migrates to the current epoch's memory
+// engine.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fmc"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/svw"
+	"repro/internal/workload"
+)
+
+// calHorizon bounds the spread of reservation times within one calendar.
+const calHorizon = 1 << 14
+
+// Result carries everything an experiment reads out of one simulation.
+type Result struct {
+	// Bench and Config identify the run.
+	Bench  string
+	Suite  workload.Suite
+	Config string
+	// Committed is the number of committed instructions.
+	Committed uint64
+	// Cycles is the total execution time.
+	Cycles int64
+	// IPC is Committed/Cycles.
+	IPC float64
+	// Counters aggregates pipeline, scheme, SVW and interconnect events
+	// (Table 2 columns use "hl_lq", "hl_sq", "ll_lq", "ll_sq", "ert",
+	// "ssbf", "roundtrip", "cache").
+	Counters *stats.Counters
+	// LoadDist and StoreDist are the decode→address-calculation latency
+	// histograms behind Figure 1 (30-cycle buckets).
+	LoadDist, StoreDist *stats.Histogram
+	// LLIdleFrac is the fraction of cycles with the LL-LSQ empty (Fig 11).
+	LLIdleFrac float64
+	// AvgEpochs is the mean number of allocated epochs over time.
+	AvgEpochs float64
+}
+
+// Sim is one simulation instance: a configuration bound to a workload.
+type Sim struct {
+	cfg    config.Config
+	gen    *workload.Generator
+	scheme lsq.Scheme
+	hier   *mem.Hierarchy
+	bus    *noc.Bus
+	mesh   *noc.Mesh
+	svwEng *svw.Engine
+	epochs *fmc.Epochs
+
+	c *stats.Counters
+
+	regReady [isa.NumRegs]int64
+
+	fetchCal   *sched.Calendar // fetch/decode slots
+	cpIssueCal *sched.Calendar // CP issue width
+	portsCal   *sched.Calendar // L1 data ports
+	llPortsCal *sched.Calendar // MP-side L2 access ports
+	commitCal  *sched.Calendar // commit width
+	migCal     *sched.Calendar // HL->LL migration bandwidth
+
+	robRing    *sched.Ring // CP ROB occupancy
+	windowRing *sched.Ring // global in-flight cap (FMC)
+	intIQ      *sched.Ring
+	fpIQ       *sched.Ring
+	lqRing     *sched.Ring // conventional LQ (OoO)
+	sqRing     *sched.Ring // conventional SQ (OoO)
+
+	storeIx *lsq.StoreIndex
+
+	nextFetchMin int64
+	lastCommit   int64
+	lastMigrate  int64
+	migBlockMem  int64 // RSAC: memory refs may not migrate before this
+
+	committed   uint64
+	wpSeq       uint64
+	llBusyUntil int64
+	llIdle      int64
+
+	loadDist, storeDist *stats.Histogram
+
+	// storesMigrate: stores move to the LL queues whenever the MP is
+	// active (ELSQ organisations); the central queue buffers them itself.
+	storesMigrate bool
+	wrongPathCap  int
+}
+
+// New builds a simulator for cfg running the given benchmark generator.
+func New(cfg config.Config, gen *workload.Generator) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:       cfg,
+		gen:       gen,
+		hier:      mem.NewHierarchy(&cfg),
+		bus:       noc.NewBus(cfg.BusOneWay),
+		c:         stats.NewCounters(),
+		storeIx:   lsq.NewStoreIndex(),
+		loadDist:  stats.NewHistogram(30, 50),
+		storeDist: stats.NewHistogram(30, 50),
+	}
+	// 4x4 mesh for the default 16 engines; other counts use a single row.
+	w, h := cfg.NumEpochs, 1
+	if cfg.NumEpochs == 16 {
+		w, h = 4, 4
+	}
+	s.mesh = noc.NewMesh(w, h, cfg.MeshHop)
+
+	switch {
+	case cfg.LSQ == config.LSQCentral:
+		s.scheme = lsq.NewCentral(s.bus)
+	case cfg.LSQ == config.LSQConventional:
+		s.scheme = lsq.NewConventional(false)
+	case cfg.LSQ == config.LSQSVW && cfg.Model == config.ModelOoO:
+		s.scheme = lsq.NewConventional(true)
+		s.svwEng = svw.New(cfg.SSBFBits, cfg.SVW)
+	case cfg.LSQ == config.LSQSVW:
+		s.scheme = core.New(&cfg, s.bus, s.mesh, s.hier.L1, core.WithoutLoadQueue())
+		s.svwEng = svw.New(cfg.SSBFBits, cfg.SVW)
+		s.storesMigrate = true
+	case cfg.LSQ == config.LSQELSQ:
+		s.scheme = core.New(&cfg, s.bus, s.mesh, s.hier.L1)
+		s.storesMigrate = true
+	default:
+		return nil, fmt.Errorf("cpu: unsupported scheme %v on %v", cfg.LSQ, cfg.Model)
+	}
+
+	s.fetchCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
+	s.cpIssueCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
+	s.portsCal = sched.NewCalendar(cfg.CachePorts, calHorizon)
+	s.llPortsCal = sched.NewCalendar(cfg.CachePorts, calHorizon)
+	s.commitCal = sched.NewCalendar(cfg.CommitWidth, calHorizon)
+	s.migCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
+
+	s.robRing = sched.NewRing(cfg.ROBSize)
+	s.intIQ = sched.NewRing(cfg.IntIQ)
+	s.fpIQ = sched.NewRing(cfg.FpIQ)
+	if cfg.Model == config.ModelFMC {
+		s.windowRing = sched.NewRing(cfg.WindowSize())
+		s.epochs = fmc.NewEpochs(&cfg)
+		s.wrongPathCap = 3 * cfg.ROBSize
+	} else {
+		s.windowRing = sched.NewRing(0)
+		s.wrongPathCap = cfg.ROBSize
+	}
+	// High-locality queue occupancy: entries live from dispatch to
+	// migration (FMC) or completion/commit. The central queue is unlimited.
+	if cfg.LSQ == config.LSQCentral {
+		s.lqRing = sched.NewRing(0)
+		s.sqRing = sched.NewRing(0)
+	} else {
+		s.lqRing = sched.NewRing(cfg.HLLQSize)
+		s.sqRing = sched.NewRing(cfg.HLSQSize)
+	}
+	return s, nil
+}
+
+// Run simulates cfg.WarmupInsts instructions functionally (cache warm-up —
+// the paper measures SimPoints of already-warm execution), then
+// cfg.MaxInsts committed instructions with full timing, and returns the
+// result.
+func (s *Sim) Run() *Result {
+	var in isa.Inst
+	for i := uint64(0); i < s.cfg.WarmupInsts; i++ {
+		s.gen.Next(&in)
+		if in.IsMem() {
+			s.hier.Access(in.Addr)
+		}
+	}
+	for s.committed < s.cfg.MaxInsts {
+		s.gen.Next(&in)
+		s.step(&in)
+	}
+	if s.epochs != nil {
+		if rel := s.epochs.CloseAll(); rel.OK {
+			s.scheme.EpochCommitted(int(rel.V), rel.At)
+		}
+	}
+	cycles := s.lastCommit
+	if cycles <= 0 {
+		cycles = 1
+	}
+	if s.llBusyUntil < cycles {
+		s.llIdle += cycles - s.llBusyUntil
+	}
+	res := &Result{
+		Bench:     s.gen.Name(),
+		Suite:     s.gen.Suite(),
+		Config:    s.cfg.Name(),
+		Committed: s.committed,
+		Cycles:    cycles,
+		IPC:       float64(s.committed) / float64(cycles),
+		Counters:  s.c,
+		LoadDist:  s.loadDist,
+		StoreDist: s.storeDist,
+	}
+	res.Counters.Merge(s.scheme.Counters())
+	if s.svwEng != nil {
+		res.Counters.Merge(s.svwEng.Counters())
+		res.Counters.Add("ssbf", s.svwEng.SSBFAccesses())
+	}
+	res.Counters.Add("noc_hops", s.mesh.Hops)
+	if s.cfg.Model == config.ModelFMC {
+		res.LLIdleFrac = float64(s.llIdle) / float64(cycles)
+		// Mean allocated epochs over the cycles the MP is active (the
+		// paper's "when the Memory Processor is active, not necessarily
+		// all epoch queues are allocated" statistic).
+		if busy := cycles - s.llIdle; busy > 0 {
+			res.AvgEpochs = float64(s.epochs.ActiveCycleSum) / float64(busy)
+		}
+	}
+	return res
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *Sim) regReadyAt(r int16) int64 {
+	if r == isa.NoReg {
+		return 0
+	}
+	return s.regReady[r]
+}
+
+// step processes one committed-path instruction end to end.
+func (s *Sim) step(in *isa.Inst) {
+	isLoad := in.Op == isa.OpLoad
+	isStore := in.Op == isa.OpStore
+	isMem := isLoad || isStore
+
+	// --- dispatch ---
+	t0 := s.nextFetchMin
+	t0 = max64(t0, s.robRing.FreeAt())
+	t0 = max64(t0, s.windowRing.FreeAt())
+	iq := s.intIQ
+	if in.Op == isa.OpFpAlu || in.Op == isa.OpFpMul {
+		iq = s.fpIQ
+	}
+	t0 = max64(t0, iq.FreeAt())
+	if isLoad {
+		t0 = max64(t0, s.lqRing.FreeAt())
+	}
+	if isStore {
+		t0 = max64(t0, s.sqRing.FreeAt())
+	}
+	dispatch := s.fetchCal.Reserve(t0)
+
+	// --- readiness ---
+	r1 := max64(s.regReadyAt(in.Src1), dispatch+1)
+	r2 := max64(s.regReadyAt(in.Src2), dispatch+1)
+	ready := max64(r1, r2)
+	addrReady := r1 // loads/stores: Src1 is the address source
+	dataReady := r2 // stores: Src2 is the data source
+
+	// --- execution-locality classification ---
+	llExec := false
+	if s.cfg.Model == config.ModelFMC {
+		rel := ready
+		if isLoad {
+			rel = addrReady
+		}
+		threshold := int64(s.cfg.MigrateThreshold)
+		llExec = rel-dispatch > threshold
+		if isLoad && llExec &&
+			(s.cfg.Disamb == config.DisambRLAC || s.cfg.Disamb == config.DisambRSACLAC) {
+			// Restricted LAC: the load must compute its address in the
+			// HL-LSQ. It stays in the Cache Processor until the address
+			// resolves and, being the migration divider, blocks younger
+			// migration (the window fills behind it).
+			llExec = false
+			s.lastMigrate = max64(s.lastMigrate, addrReady)
+			s.c.Inc("rlac_stall")
+		}
+	}
+	llActive := s.llBusyUntil > dispatch
+	migrates := llExec || (isStore && s.storesMigrate && llActive)
+
+	// --- migration (HL -> LL epoch) ---
+	var op *lsq.MemOp
+	if isMem {
+		op = &lsq.MemOp{
+			Seq: in.Seq, Store: isStore, Addr: in.Addr, Size: in.Size,
+			Dispatch: dispatch, AddrReady: addrReady,
+			Epoch: lsq.HLEpoch, LowLoc: llExec,
+		}
+		if isStore {
+			op.DataReady = dataReady
+		}
+	}
+	epochV := int64(-1)
+	var migT int64
+	if s.cfg.Model == config.ModelFMC && (migrates || (llExec && !isMem)) {
+		mt := dispatch + int64(s.cfg.BusOneWay)
+		mt = max64(mt, s.lastMigrate)
+		if isMem {
+			mt = max64(mt, s.migBlockMem)
+		}
+		v, enterAt, rel := s.epochs.Assign(llExec, isLoad && llExec, isStore && migrates, in.Seq, mt)
+		if rel.OK {
+			s.scheme.EpochCommitted(int(rel.V), rel.At)
+		}
+		mt = s.migCal.Reserve(max64(mt, enterAt))
+		epochV = v
+		s.lastMigrate = mt
+		migT = mt
+		if isMem {
+			op.Epoch = int(v)
+			op.MigrateAt = mt
+			stall := s.scheme.Migrate(op, mt)
+			if stall > 0 {
+				migT += stall
+				s.lastMigrate = migT
+				s.c.Add("migrate_stall_cycles", uint64(stall))
+			}
+			if op.AddrReady > migT {
+				// Address resolves inside the LL-LSQ.
+				if s.scheme.AddrKnownInLL(op, op.AddrReady) {
+					// Line-ERT lock overflow: squash from this op.
+					s.c.Inc("ll_squash")
+					s.nextFetchMin = max64(s.nextFetchMin, op.AddrReady+int64(s.cfg.MispredictPenalty))
+				}
+			}
+			if isStore && op.AddrReady > migT &&
+				(s.cfg.Disamb == config.DisambRSAC || s.cfg.Disamb == config.DisambRSACLAC) {
+				// Restricted SAC: younger memory references may not
+				// migrate until this store's address resolves.
+				s.migBlockMem = max64(s.migBlockMem, op.AddrReady)
+				s.c.Inc("rsac_stall")
+			}
+		}
+	}
+
+	// --- execute ---
+	var done, issueAt int64
+	switch in.Op {
+	case isa.OpNop:
+		done = dispatch + 1
+		issueAt = dispatch + 1
+	case isa.OpIntAlu, isa.OpIntMul, isa.OpFpAlu, isa.OpFpMul, isa.OpBranch:
+		lat := int64(isa.Latency(in.Op))
+		if llExec {
+			issueAt = s.epochs.Issue(epochV, max64(ready, migT+1))
+		} else {
+			issueAt = s.cpIssueCal.Reserve(ready)
+		}
+		done = issueAt + lat
+		if in.Op == isa.OpBranch && in.Mispred {
+			s.c.Inc("mispredict")
+			s.injectWrongPath(dispatch+1, done)
+			s.nextFetchMin = max64(s.nextFetchMin, done+int64(s.cfg.MispredictPenalty))
+		}
+	case isa.OpLoad:
+		done, issueAt = s.execLoad(op, llExec, epochV, migT)
+	case isa.OpStore:
+		done, issueAt = s.execStore(op, llExec, epochV, migT)
+	}
+
+	// A load that migrated after issue (L2 miss discovered in the HL-LSQ)
+	// carries its epoch on the MemOp; fold it into the commit bookkeeping.
+	if op != nil && op.Epoch != lsq.HLEpoch && epochV < 0 {
+		epochV = int64(op.Epoch)
+		migT = op.MigrateAt
+	}
+
+	// --- commit (in order, width-limited) ---
+	ct := s.commitCal.Reserve(max64(done, s.lastCommit))
+	if s.svwEng != nil && isLoad {
+		if s.svwEng.LoadCommitting(op) {
+			// Re-execute during commit: an extra data-cache access that
+			// also delays every younger store's commit.
+			port := s.portsCal.Reserve(ct)
+			lat := int64(s.hier.Latency(s.hier.Probe(op.Addr)))
+			ct = port + lat
+			s.c.Inc("cache")
+		}
+	}
+	s.lastCommit = ct
+	s.committed++
+	if isMem {
+		op.Commit = ct
+	}
+	if isStore {
+		// In-order memory update at commit.
+		s.portsCal.Reserve(ct)
+		s.hier.Access(op.Addr)
+		s.c.Inc("cache")
+		if s.svwEng != nil {
+			s.svwEng.StoreCommitted(op.Addr, op.Seq, ct)
+		}
+		s.storeIx.Add(op)
+	}
+	if epochV >= 0 {
+		s.epochs.Committed(epochV, in.Seq, ct)
+	}
+
+	// --- occupancy release ---
+	robRelease := done
+	if s.cfg.Model == config.ModelOoO {
+		robRelease = ct // conventional in-order ROB release
+	} else if migT > 0 {
+		robRelease = migT // migrated ops free their CP slot at migration
+	}
+	s.robRing.Push(robRelease)
+	s.windowRing.Push(ct)
+	iqRelease := issueAt
+	if migT > 0 && migT < iqRelease {
+		iqRelease = migT
+	}
+	iq.Push(iqRelease)
+	if isLoad {
+		// A load's queue entry frees at migration (FMC) or once it has
+		// executed and can release early (checkpointed recovery); the
+		// conventional OoO holds it to commit.
+		rel := max64(done, issueAt)
+		if s.cfg.Model == config.ModelOoO {
+			rel = ct
+		} else if op.MigrateAt > 0 && op.MigrateAt < rel {
+			rel = op.MigrateAt
+		}
+		s.lqRing.Push(rel)
+	}
+	if isStore {
+		// A store buffers until commit unless it migrated to the LL-SQ.
+		rel := ct
+		if op.MigrateAt > 0 {
+			rel = op.MigrateAt
+		}
+		s.sqRing.Push(rel)
+	}
+
+	// --- dataflow and statistics ---
+	if in.Dst != isa.NoReg {
+		s.regReady[in.Dst] = done
+	}
+	if isLoad {
+		s.loadDist.Add(int(addrReady - dispatch))
+	}
+	if isStore {
+		s.storeDist.Add(int(addrReady - dispatch))
+	}
+	// Memory-Processor activity: only miss-dependent work keeps the MP
+	// awake (the paper's low-power criterion: "no cache misses have
+	// occurred recently"). Stores that migrated purely for buffering ride
+	// along and must not self-sustain the active phase.
+	if epochV >= 0 && (llExec || (op != nil && op.LowLoc)) {
+		if migT > s.llBusyUntil {
+			s.llIdle += migT - s.llBusyUntil
+		}
+		s.llBusyUntil = max64(s.llBusyUntil, ct)
+	}
+}
+
+// execLoad performs a load's queue search and memory access. It returns the
+// cycle the value is available and the issue cycle.
+func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (done, issue int64) {
+	if llExec {
+		// The load issues from its memory engine (in-order, 2-way), then
+		// accesses the memory hierarchy from the MP side.
+		issue = s.epochs.Issue(epochV, max64(op.AddrReady, migT+1))
+		issue = s.llPortsCal.Reserve(issue)
+	} else {
+		issue = s.portsCal.Reserve(op.AddrReady)
+	}
+	op.Issued = issue
+
+	res := s.scheme.LoadIssue(op, s.storeIx, issue)
+	if res.Squash {
+		s.c.Inc("ll_squash")
+		s.nextFetchMin = max64(s.nextFetchMin, issue+int64(s.cfg.MispredictPenalty))
+	}
+
+	level, lat := s.hier.Access(op.Addr)
+	s.c.Inc("cache")
+	s.c.Inc("load_" + level.String())
+	switch {
+	case res.Forwarded:
+		op.ForwardedFrom = res.Source.Seq + 1
+		done = max64(issue, res.DataAvailable) + 1
+	case res.Partial:
+		// Partially matching store: wait for it to commit, then read the
+		// cache (squash-and-refetch-free variant of the Power4 rule).
+		s.c.Inc("partial_forward")
+		done = max64(issue, res.PartialStore.Commit) + int64(s.cfg.L1.LatencyCycles) + 1
+	default:
+		done = issue + res.ExtraLatency + int64(lat)
+	}
+
+	// Post-issue migration: a high-locality load that misses all the way to
+	// memory moves to the LL-LSQ to wait for its data (Section 3.2).
+	if s.cfg.Model == config.ModelFMC && !llExec && level == mem.LevelMem && epochV < 0 {
+		mt := max64(issue+int64(s.cfg.BusOneWay), s.lastMigrate)
+		mt = max64(mt, s.migBlockMem)
+		v, enterAt, rel := s.epochs.Assign(false, true, false, op.Seq, mt)
+		if rel.OK {
+			s.scheme.EpochCommitted(int(rel.V), rel.At)
+		}
+		mt = s.migCal.Reserve(max64(mt, enterAt))
+		s.lastMigrate = mt
+		op.Epoch = int(v)
+		op.MigrateAt = mt
+		op.LowLoc = true
+		s.scheme.Migrate(op, mt)
+	}
+
+	// True ordering violations: an older overlapping store whose address
+	// resolved only after this load issued. Eager schemes squash at the
+	// store's resolution; SVW repairs at commit via re-execution (the
+	// re-execution itself is modelled in step()).
+	for _, st := range s.storeIx.CandidatesOracle(op, issue) {
+		if st.AddrReady > issue {
+			s.c.Inc("violation")
+			done = max64(done, max64(st.AddrReady, st.DataReady)+1)
+			if s.svwEng == nil {
+				s.nextFetchMin = max64(s.nextFetchMin, st.AddrReady+int64(s.cfg.MispredictPenalty))
+			}
+			break
+		}
+	}
+	return done, issue
+}
+
+// execStore resolves a store's address (its LQ violation search) and data.
+func (s *Sim) execStore(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (done, issue int64) {
+	if llExec {
+		issue = s.epochs.Issue(epochV, max64(op.AddrReady, migT+1))
+	} else {
+		issue = s.cpIssueCal.Reserve(op.AddrReady)
+	}
+	op.Issued = issue
+	s.scheme.StoreAddrReady(op, nil, issue)
+	done = max64(issue, op.DataReady)
+	return done, issue
+}
+
+// injectWrongPath streams wrong-path instructions from a mispredicted
+// branch's fetch point until its resolution. They occupy the pipeline,
+// search the queues and access the caches — the activity inflation the
+// paper observes for aggressive speculation on SPEC INT — and are squashed
+// at resolution.
+func (s *Sim) injectWrongPath(start, resolve int64) {
+	if resolve <= start {
+		return
+	}
+	n := int64(s.cfg.FetchWidth) * (resolve - start)
+	if n > int64(s.wrongPathCap) {
+		n = int64(s.wrongPathCap)
+	}
+	var in isa.Inst
+	for i := int64(0); i < n; i++ {
+		s.gen.WrongPath(&in)
+		d := start + i/int64(s.cfg.FetchWidth)
+		s.robRing.Push(resolve)
+		switch in.Op {
+		case isa.OpLoad:
+			wp := &lsq.MemOp{
+				Seq: in.Seq, Addr: in.Addr, Size: in.Size,
+				Dispatch: d, AddrReady: d + 1, Epoch: lsq.HLEpoch,
+			}
+			issue := s.portsCal.Reserve(d + 1)
+			wp.Issued = issue
+			s.scheme.LoadIssue(wp, s.storeIx, issue)
+			s.hier.Access(wp.Addr)
+			s.c.Inc("cache")
+			s.c.Inc("wrongpath_load")
+		case isa.OpStore:
+			wp := &lsq.MemOp{
+				Seq: in.Seq, Store: true, Addr: in.Addr, Size: in.Size,
+				Dispatch: d, AddrReady: d + 1, DataReady: d + 1,
+				Epoch: lsq.HLEpoch, Issued: d + 1,
+			}
+			s.scheme.StoreAddrReady(wp, nil, d+1)
+			s.c.Inc("wrongpath_store")
+		default:
+			s.c.Inc("wrongpath_other")
+		}
+	}
+}

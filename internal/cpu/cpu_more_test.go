@@ -1,0 +1,194 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestCommitWidthBound verifies in-order width-limited commit: total cycles
+// can never be below committed/CommitWidth.
+func TestCommitWidthBound(t *testing.T) {
+	r := run(t, quickCfg(config.Default()), "eon", 1)
+	minCycles := int64(r.Committed) / int64(config.Default().CommitWidth)
+	if r.Cycles < minCycles {
+		t.Errorf("cycles %d below commit-width bound %d", r.Cycles, minCycles)
+	}
+}
+
+// TestCentralUnlimitedIgnoresQueueSizes ensures the idealised central LSQ
+// sees no capacity back-pressure from the HL queue sizes.
+func TestCentralUnlimitedIgnoresQueueSizes(t *testing.T) {
+	big := quickCfg(config.Default())
+	big.LSQ = config.LSQCentral
+	small := big
+	small.HLLQSize = 2
+	small.HLSQSize = 2
+	a := run(t, big, "swim", 1)
+	b := run(t, small, "swim", 1)
+	if a.Cycles != b.Cycles {
+		t.Errorf("central LSQ cycles changed with queue sizes: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+// TestConventionalQueuePressure: shrinking the OoO store queue must slow a
+// store-heavy benchmark down (entries are held to commit).
+func TestConventionalQueuePressure(t *testing.T) {
+	norm := quickCfg(config.OoO64())
+	tiny := norm
+	tiny.HLSQSize = 2
+	a := run(t, norm, "gcc", 1)
+	b := run(t, tiny, "gcc", 1)
+	if b.IPC >= a.IPC {
+		t.Errorf("2-entry SQ did not hurt: %.3f vs %.3f", b.IPC, a.IPC)
+	}
+}
+
+// TestRLACStallsPointerLoads: restricted load address calculation must
+// penalise chase benchmarks and record stalls.
+func TestRLACStallsPointerLoads(t *testing.T) {
+	full := quickCfg(config.Default())
+	rlac := full
+	rlac.Disamb = config.DisambRLAC
+	a := run(t, full, "ammp", 1)
+	b := run(t, rlac, "ammp", 1)
+	if b.Counters.Get("rlac_stall") == 0 {
+		t.Fatal("no RLAC stalls on a pointer-chase benchmark")
+	}
+	if b.IPC > a.IPC*1.01 {
+		t.Errorf("RLAC sped ammp up: %.3f vs %.3f", b.IPC, a.IPC)
+	}
+}
+
+// TestLineERTOneWayCacheDegrades: a direct-mapped L1 suffers under line
+// locking (Figure 8b/c's left edge) and records lock-pressure events.
+func TestLineERTOneWayCacheDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	mk := func(ways int) config.Config {
+		c := quickCfg(config.Default())
+		c.ERT = config.ERTLine
+		c.L1 = config.CacheConfig{SizeBytes: 32 << 10, Ways: ways, LineBytes: 32, LatencyCycles: 1}
+		return c
+	}
+	var one, four float64
+	var pressure uint64
+	for _, bench := range []string{"applu", "gcc", "gap"} {
+		a := run(t, mk(1), bench, 1)
+		b := run(t, mk(4), bench, 1)
+		one += a.IPC
+		four += b.IPC
+		pressure += a.Counters.Get("ert_lock_stall") + a.Counters.Get("ert_lock_bypass") +
+			a.Counters.Get("ll_squash")
+	}
+	if one >= four {
+		t.Errorf("1-way L1 did not degrade the line ERT: %.3f vs %.3f", one, four)
+	}
+	if pressure == 0 {
+		t.Error("no line-lock pressure events at 1-way")
+	}
+}
+
+// TestMoreEnginesMoreMLP: the window (and stream IPC) grows with the number
+// of memory engines.
+func TestMoreEnginesMoreMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	mk := func(n int) config.Config {
+		c := quickCfg(config.Default())
+		c.NumEpochs = n
+		return c
+	}
+	two := run(t, mk(2), "art", 1)
+	sixteen := run(t, mk(16), "art", 1)
+	if sixteen.IPC <= two.IPC {
+		t.Errorf("16 engines (%.3f) not faster than 2 (%.3f) on art", sixteen.IPC, two.IPC)
+	}
+}
+
+// TestBusLatencySensitivity: without the SQM, a slower CP<->MP bus must
+// cost performance on forwarding-heavy code.
+func TestBusLatencySensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	mk := func(lat int) config.Config {
+		c := quickCfg(config.Default())
+		c.SQM = false
+		c.BusOneWay = lat
+		return c
+	}
+	fast := run(t, mk(2), "perlbmk", 1)
+	slow := run(t, mk(16), "perlbmk", 1)
+	if slow.IPC >= fast.IPC {
+		t.Errorf("16-cycle bus (%.3f) not slower than 2-cycle (%.3f)", slow.IPC, fast.IPC)
+	}
+}
+
+// TestSeedsVaryButConfigsRank: different workload seeds change absolute
+// numbers but keep the fundamental OoO < FMC ordering on MLP-rich code.
+func TestSeedsVaryButConfigsRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		ooo := run(t, quickCfg(config.OoO64()), "swim", seed)
+		fmcR := run(t, quickCfg(config.Default()), "swim", seed)
+		if fmcR.IPC <= ooo.IPC {
+			t.Errorf("seed %d: FMC (%.3f) not faster than OoO (%.3f) on swim",
+				seed, fmcR.IPC, ooo.IPC)
+		}
+	}
+}
+
+// TestForwardingProvidesData: the chase home-slot pattern must produce
+// actual forwarding events through the global (ERT) path.
+func TestForwardingProvidesData(t *testing.T) {
+	r := run(t, quickCfg(config.Default()), "mcf", 1)
+	global := r.Counters.Get("ll_forward_global")
+	if global == 0 {
+		t.Error("mcf produced no global store→load forwardings")
+	}
+}
+
+// TestEveryBenchmarkRunsOnEveryScheme is the broad integration sweep: all
+// 26 benchmarks on all 4 schemes complete and produce sane output.
+func TestEveryBenchmarkRunsOnEveryScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	schemes := []func() config.Config{
+		func() config.Config { return config.OoO64() },
+		func() config.Config {
+			c := config.OoO64()
+			c.LSQ = config.LSQSVW
+			return c
+		},
+		func() config.Config { return config.Default() },
+		func() config.Config {
+			c := config.Default()
+			c.LSQ = config.LSQCentral
+			return c
+		},
+	}
+	for _, suite := range []workload.Suite{workload.SuiteInt, workload.SuiteFP} {
+		for _, p := range workload.SuiteOf(suite) {
+			for _, mk := range schemes {
+				cfg := mk()
+				cfg.MaxInsts = 4_000
+				cfg.WarmupInsts = 30_000
+				sim, err := New(cfg, p.New(2))
+				if err != nil {
+					t.Fatalf("%s/%s: %v", cfg.Name(), p.Name, err)
+				}
+				r := sim.Run()
+				if r.IPC <= 0 || r.IPC > float64(cfg.FetchWidth) {
+					t.Errorf("%s/%s IPC %.3f out of range", cfg.Name(), p.Name, r.IPC)
+				}
+			}
+		}
+	}
+}

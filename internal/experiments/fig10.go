@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig10 reproduces Figure 10: Store Vulnerability Window re-execution on
+// both processor models, sweeping the SSBF index width (8/10/12 bits) and
+// the filtering variant (Blind vs CheckStores). Reported per cell: IPC
+// relative to the same processor with an associative load queue, and load
+// re-executions per 100M committed instructions. Paper shapes: re-execution
+// rates grow roughly an order of magnitude from the 64-entry window to the
+// ~1500-instruction FMC; 12 bits is near-lossless everywhere; at 8 bits the
+// Blind variant degrades SPEC FP noticeably (~7%) while CheckStores holds
+// ~1%.
+func Fig10(opt Options) (string, error) {
+	type cell struct {
+		model config.Model
+		bits  int
+		svw   config.SVWVariant
+	}
+	var cells []cell
+	var cfgs []config.Config
+	// Baselines with a load queue: OoO-64 conventional and FMC ELSQ.
+	cfgs = append(cfgs, config.OoO64())
+	fmcBase := config.Default()
+	cfgs = append(cfgs, fmcBase)
+	for _, model := range []config.Model{config.ModelOoO, config.ModelFMC} {
+		for _, bits := range []int{8, 10, 12} {
+			for _, v := range []config.SVWVariant{config.SVWCheckStores, config.SVWBlind} {
+				c := config.Default()
+				if model == config.ModelOoO {
+					c = config.OoO64()
+				}
+				c.LSQ = config.LSQSVW
+				c.SSBFBits = bits
+				c.SVW = v
+				cells = append(cells, cell{model, bits, v})
+				cfgs = append(cfgs, c)
+			}
+		}
+	}
+	runs, err := runSuites(cfgs, opt)
+	if err != nil {
+		return "", err
+	}
+	reexecs := func(sr *suiteRun) float64 {
+		var s float64
+		for _, r := range sr.results {
+			s += stats.Per100M(r.Counters.Get("reexec"), r.Committed)
+		}
+		return s / float64(len(sr.results))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 10: SVW relative IPC and re-executions per 100M instructions\n")
+	for _, model := range []config.Model{config.ModelOoO, config.ModelFMC} {
+		baseIdx := 0
+		if model == config.ModelFMC {
+			baseIdx = 1
+		}
+		fmt.Fprintf(&b, "\n%s (relative to the same processor with a load queue):\n", model)
+		fmt.Fprintf(&b, "  %-22s %10s %12s %10s %12s\n",
+			"ssbf/variant", "INT relIPC", "INT reexec", "FP relIPC", "FP reexec")
+		for ci, cl := range cells {
+			if cl.model != model {
+				continue
+			}
+			run := runs[ci+2] // first two configs are the baselines
+			fmt.Fprintf(&b, "  %2d bits / %-12s %10.3f %12.2e %10.3f %12.2e\n",
+				cl.bits, cl.svw,
+				run[workload.SuiteInt].meanRelIPC(runs[baseIdx][workload.SuiteInt]),
+				reexecs(run[workload.SuiteInt]),
+				run[workload.SuiteFP].meanRelIPC(runs[baseIdx][workload.SuiteFP]),
+				reexecs(run[workload.SuiteFP]))
+		}
+	}
+	b.WriteString("\nPaper shape: reexec counts grow ~10x with the large window; 12 bits\n" +
+		"near-lossless; 8-bit Blind costs SPEC FP ~7% while CheckStores holds ~1%.\n")
+	return b.String(), nil
+}

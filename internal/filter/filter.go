@@ -1,0 +1,175 @@
+// Package filter implements the search filters of the paper: the Epoch
+// Resolution Table (ERT) in both its hash-indexed and cache-line-indexed
+// forms (Section 3.4), a plain Bloom bitset, and the Store Sequence Bloom
+// Filter (SSBF) used by the Store Vulnerability Window re-execution baseline
+// (Section 5.6).
+package filter
+
+import "math/bits"
+
+// HashIndex maps an effective address to an n-bit ERT/SSBF index using the
+// low address bits above 8-byte granularity, matching the paper's "set of
+// the lower bits from the address". With naturally aligned accesses of at
+// most 8 bytes, any two overlapping accesses map to the same index, so the
+// filter never produces false negatives.
+func HashIndex(addr uint64, nbits int) int {
+	return int((addr >> 3) & ((1 << uint(nbits)) - 1))
+}
+
+// EpochBitTable is the ERT core: for every index it keeps one bit per epoch
+// for loads and one per epoch for stores. Both ERT variants share it — the
+// hash ERT indexes it by HashIndex, the line ERT by the L1 line slot.
+//
+// Clearing an epoch's two columns on epoch commit/squash is the paper's
+// cheap bulk-release mechanism (contrast with the HSQ's per-store counter
+// decrements); it is O(entries touched by the epoch) here.
+type EpochBitTable struct {
+	loads, stores []uint32
+	touchedLd     [][]int32
+	touchedSt     [][]int32
+	numEpochs     int
+}
+
+// NewEpochBitTable returns a table with the given entry count and epoch
+// count (<= 32).
+func NewEpochBitTable(entries, numEpochs int) *EpochBitTable {
+	if entries <= 0 || numEpochs <= 0 || numEpochs > 32 {
+		panic("filter: invalid ERT geometry")
+	}
+	t := &EpochBitTable{
+		loads:     make([]uint32, entries),
+		stores:    make([]uint32, entries),
+		touchedLd: make([][]int32, numEpochs),
+		touchedSt: make([][]int32, numEpochs),
+		numEpochs: numEpochs,
+	}
+	return t
+}
+
+// Entries returns the number of table entries.
+func (t *EpochBitTable) Entries() int { return len(t.loads) }
+
+// NumEpochs returns the epoch-column count.
+func (t *EpochBitTable) NumEpochs() int { return t.numEpochs }
+
+// SetLoad marks a low-locality load with the given index in epoch e.
+func (t *EpochBitTable) SetLoad(idx, e int) {
+	if t.loads[idx]&(1<<uint(e)) == 0 {
+		t.loads[idx] |= 1 << uint(e)
+		t.touchedLd[e] = append(t.touchedLd[e], int32(idx))
+	}
+}
+
+// SetStore marks a low-locality store with the given index in epoch e.
+func (t *EpochBitTable) SetStore(idx, e int) {
+	if t.stores[idx]&(1<<uint(e)) == 0 {
+		t.stores[idx] |= 1 << uint(e)
+		t.touchedSt[e] = append(t.touchedSt[e], int32(idx))
+	}
+}
+
+// LoadMask returns the epoch bit-vector of loads possibly matching idx.
+func (t *EpochBitTable) LoadMask(idx int) uint32 { return t.loads[idx] }
+
+// StoreMask returns the epoch bit-vector of stores possibly matching idx.
+func (t *EpochBitTable) StoreMask(idx int) uint32 { return t.stores[idx] }
+
+// ClearEpoch releases epoch e's two columns (on epoch commit or squash).
+func (t *EpochBitTable) ClearEpoch(e int) {
+	m := ^(uint32(1) << uint(e))
+	for _, idx := range t.touchedLd[e] {
+		t.loads[idx] &= m
+	}
+	t.touchedLd[e] = t.touchedLd[e][:0]
+	for _, idx := range t.touchedSt[e] {
+		t.stores[idx] &= m
+	}
+	t.touchedSt[e] = t.touchedSt[e][:0]
+}
+
+// EpochsOf lists the epochs set in mask, youngest-first given the caller
+// passes the recency order; here it simply extracts set bits ascending.
+func EpochsOf(mask uint32) []int {
+	out := make([]int, 0, bits.OnesCount32(mask))
+	for mask != 0 {
+		e := bits.TrailingZeros32(mask)
+		out = append(out, e)
+		mask &^= 1 << uint(e)
+	}
+	return out
+}
+
+// Bloom is a plain single-hash Bloom bitset (Bloom, CACM 1970), the
+// primitive behind the hash-based ERT.
+type Bloom struct {
+	bitsN int
+	words []uint64
+}
+
+// NewBloom returns a Bloom bitset indexed by nbits address bits.
+func NewBloom(nbits int) *Bloom {
+	if nbits < 1 || nbits > 30 {
+		panic("filter: bloom bits out of range")
+	}
+	return &Bloom{bitsN: nbits, words: make([]uint64, ((1<<uint(nbits))+63)/64)}
+}
+
+// Set marks addr.
+func (b *Bloom) Set(addr uint64) {
+	i := HashIndex(addr, b.bitsN)
+	b.words[i/64] |= 1 << uint(i%64)
+}
+
+// Test reports whether addr may have been set (no false negatives).
+func (b *Bloom) Test(addr uint64) bool {
+	i := HashIndex(addr, b.bitsN)
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Reset clears the filter.
+func (b *Bloom) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SSBF is the Store Sequence Bloom Filter of SVW (Roth, ISCA 2005): a
+// direct-mapped table of the youngest committed store sequence number per
+// address hash. A load whose vulnerability window overlaps the stored
+// sequence number must re-execute.
+type SSBF struct {
+	bitsN int
+	seq   []uint64
+	// Writes and Reads count accesses for the Table 2 "SSBF" column.
+	Writes, Reads uint64
+}
+
+// NewSSBF returns an SSBF with 2^nbits entries.
+func NewSSBF(nbits int) *SSBF {
+	if nbits < 1 || nbits > 24 {
+		panic("filter: ssbf bits out of range")
+	}
+	return &SSBF{bitsN: nbits, seq: make([]uint64, 1<<uint(nbits))}
+}
+
+// CommitStore records that the store with sequence number seq to addr has
+// committed. Sequence numbers are offset by one internally so the zero value
+// means "never written".
+func (s *SSBF) CommitStore(addr uint64, seq uint64) {
+	s.Writes++
+	s.seq[HashIndex(addr, s.bitsN)] = seq + 1
+}
+
+// LastStore returns the sequence number of the youngest committed store that
+// hashes with addr, and whether any exists.
+func (s *SSBF) LastStore(addr uint64) (uint64, bool) {
+	s.Reads++
+	v := s.seq[HashIndex(addr, s.bitsN)]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// Entries returns the table size.
+func (s *SSBF) Entries() int { return len(s.seq) }

@@ -1,0 +1,224 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestHashIndexRange(t *testing.T) {
+	f := func(addr uint64, nb uint8) bool {
+		n := int(nb)%16 + 1
+		i := HashIndex(addr, n)
+		return i >= 0 && i < 1<<uint(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Overlapping naturally-aligned accesses must share a hash index — the
+// no-false-negative guarantee every disambiguation filter relies on.
+func TestHashIndexNoFalseNegatives(t *testing.T) {
+	f := func(block uint64, o1, o2, s1, s2 uint8) bool {
+		block %= 1 << 30
+		// naturally aligned 4- or 8-byte accesses
+		size1 := uint8(4)
+		if s1%2 == 0 {
+			size1 = 8
+		}
+		size2 := uint8(4)
+		if s2%2 == 0 {
+			size2 = 8
+		}
+		a1 := block<<3 + uint64(o1%2)*4
+		if size1 == 8 {
+			a1 = block << 3
+		}
+		a2 := block<<3 + uint64(o2%2)*4
+		if size2 == 8 {
+			a2 = block << 3
+		}
+		if !isa.Overlaps(a1, size1, a2, size2) {
+			return true
+		}
+		return HashIndex(a1, 10) == HashIndex(a2, 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochBitTableSetLookupClear(t *testing.T) {
+	tb := NewEpochBitTable(64, 16)
+	tb.SetStore(5, 3)
+	tb.SetStore(5, 7)
+	tb.SetLoad(5, 2)
+	if m := tb.StoreMask(5); m != (1<<3)|(1<<7) {
+		t.Errorf("StoreMask = %b", m)
+	}
+	if m := tb.LoadMask(5); m != 1<<2 {
+		t.Errorf("LoadMask = %b", m)
+	}
+	if m := tb.StoreMask(6); m != 0 {
+		t.Errorf("untouched index mask = %b", m)
+	}
+	tb.ClearEpoch(3)
+	if m := tb.StoreMask(5); m != 1<<7 {
+		t.Errorf("after clear StoreMask = %b", m)
+	}
+	tb.ClearEpoch(7)
+	tb.ClearEpoch(2)
+	if tb.StoreMask(5) != 0 || tb.LoadMask(5) != 0 {
+		t.Error("clear did not empty the entry")
+	}
+}
+
+func TestEpochBitTableIdempotentSet(t *testing.T) {
+	tb := NewEpochBitTable(8, 4)
+	for i := 0; i < 100; i++ {
+		tb.SetStore(1, 2)
+	}
+	tb.ClearEpoch(2)
+	if tb.StoreMask(1) != 0 {
+		t.Error("repeated sets broke clearing")
+	}
+	// touched list must not grow unboundedly
+	if len(tb.touchedSt[2]) != 0 {
+		t.Error("touched list not reset")
+	}
+}
+
+func TestEpochBitTableClearIsolation(t *testing.T) {
+	tb := NewEpochBitTable(16, 8)
+	tb.SetLoad(3, 1)
+	tb.SetLoad(4, 2)
+	tb.ClearEpoch(1)
+	if tb.LoadMask(4) != 1<<2 {
+		t.Error("clearing epoch 1 damaged epoch 2 state")
+	}
+}
+
+func TestEpochsOf(t *testing.T) {
+	got := EpochsOf(0b1010010)
+	want := []int{1, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("EpochsOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EpochsOf = %v, want %v", got, want)
+		}
+	}
+	if len(EpochsOf(0)) != 0 {
+		t.Error("EpochsOf(0) not empty")
+	}
+}
+
+func TestEpochBitTableGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewEpochBitTable(0, 16) },
+		func() { NewEpochBitTable(16, 0) },
+		func() { NewEpochBitTable(16, 33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBloomBasics(t *testing.T) {
+	b := NewBloom(10)
+	if b.Test(0x1234) {
+		t.Error("empty bloom tested positive")
+	}
+	b.Set(0x1234)
+	if !b.Test(0x1234) {
+		t.Error("set address tested negative")
+	}
+	b.Reset()
+	if b.Test(0x1234) {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		b := NewBloom(8)
+		for _, a := range addrs {
+			b.Set(a)
+		}
+		for _, a := range addrs {
+			if !b.Test(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSBF(t *testing.T) {
+	s := NewSSBF(10)
+	if _, ok := s.LastStore(0x40); ok {
+		t.Error("empty SSBF returned a store")
+	}
+	s.CommitStore(0x40, 0) // seq 0 must be distinguishable from empty
+	seq, ok := s.LastStore(0x40)
+	if !ok || seq != 0 {
+		t.Errorf("LastStore = %d/%v, want 0/true", seq, ok)
+	}
+	s.CommitStore(0x40, 99)
+	seq, _ = s.LastStore(0x40)
+	if seq != 99 {
+		t.Errorf("LastStore = %d, want 99", seq)
+	}
+	if s.Writes != 2 || s.Reads != 3 {
+		t.Errorf("counters = %d/%d", s.Writes, s.Reads)
+	}
+	if s.Entries() != 1024 {
+		t.Errorf("Entries = %d", s.Entries())
+	}
+}
+
+func TestSSBFAliasing(t *testing.T) {
+	// Two addresses 2^(bits+3) apart alias in the SSBF — that is the source
+	// of false re-executions the paper sweeps with 8/10/12 bits.
+	s := NewSSBF(8)
+	a := uint64(0x100)
+	b := a + (1 << (8 + 3))
+	if HashIndex(a, 8) != HashIndex(b, 8) {
+		t.Fatal("test addresses do not alias")
+	}
+	s.CommitStore(a, 7)
+	seq, ok := s.LastStore(b)
+	if !ok || seq != 7 {
+		t.Error("aliased read did not observe the store")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBloom(0) },
+		func() { NewBloom(31) },
+		func() { NewSSBF(0) },
+		func() { NewSSBF(25) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bits accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+// Package fmc models the Flexible MultiCore substrate (Pericàs et al., PACT
+// 2007) the ELSQ integrates with: the partitioned Memory Processor as a set
+// of in-order, 2-way memory engines, the age-ordered epoch lifecycle
+// (open → fill → close → commit/squash → bank reuse), and the activity
+// accounting behind the paper's Figure 11 (LL-LSQ low-power residency) and
+// the "allocated epochs" statistic.
+package fmc
+
+import (
+	"repro/internal/config"
+	"repro/internal/sched"
+)
+
+// epochInfo tracks one virtual epoch from open to release.
+type epochInfo struct {
+	open       int64
+	lastSeq    uint64
+	lastCommit int64
+	closed     bool
+}
+
+// Release reports an epoch that fully committed: every op of virtual epoch
+// V had committed by cycle At.
+type Release struct {
+	// V is the released virtual epoch.
+	V int64
+	// At is the commit cycle of its last instruction.
+	At int64
+	// OK distinguishes a real release from the zero value.
+	OK bool
+}
+
+// Epochs manages the age-partitioned epoch lifecycle. Virtual epoch ids are
+// monotonic; virtual epoch v occupies physical bank v mod NumEpochs and can
+// only open once virtual epoch v-NumEpochs has fully committed (its bank's
+// checkpoint is released).
+type Epochs struct {
+	cfg *config.Config
+	// curr is the open virtual epoch, or -1.
+	curr int64
+	// next is the next virtual id to allocate.
+	next int64
+	// Budgets of the open epoch.
+	execs, loads, stores int
+	// bankFree[p] is the cycle bank p's previous occupant fully committed.
+	bankFree []int64
+	info     map[int64]*epochInfo
+
+	// cal enforces each memory engine's issue width. Engines are nominally
+	// in-order, but waiting instructions live in the slice buffer and
+	// re-enter the issue queue only when their producing miss returns
+	// (CFP-style), so the observable issue order is readiness order at the
+	// engine's width — strict queue-position blocking would falsely
+	// serialise independent miss chains that interleave in program order.
+	cal []*sched.Calendar
+
+	// ActiveCycleSum accumulates (release - open) over all epochs, for the
+	// mean-allocated-epochs statistic.
+	ActiveCycleSum int64
+	// Opened counts epochs ever opened.
+	Opened uint64
+}
+
+// NewEpochs builds the epoch manager for the configuration.
+func NewEpochs(cfg *config.Config) *Epochs {
+	e := &Epochs{
+		cfg:      cfg,
+		curr:     -1,
+		bankFree: make([]int64, cfg.NumEpochs),
+		info:     make(map[int64]*epochInfo),
+		cal:      make([]*sched.Calendar, cfg.NumEpochs),
+	}
+	for i := range e.cal {
+		e.cal[i] = sched.NewCalendar(cfg.MEIssueWidth, 1<<14)
+	}
+	return e
+}
+
+// Physical returns the bank of virtual epoch v.
+func (e *Epochs) Physical(v int64) int { return int(v % int64(e.cfg.NumEpochs)) }
+
+// Assign places a migrating op (exec: executes on the engine and counts
+// toward the 128-instruction budget; load/store: occupies an LL queue
+// entry) into the open epoch, opening a new one when a budget is exhausted.
+// It returns the virtual epoch, the earliest cycle the op may enter it
+// (later than t only when the new epoch's bank is still committing its
+// previous occupant), and — when opening a new epoch closed the previous
+// one — the release record of the closed epoch (in program-order
+// processing, every op of the closed epoch has already been processed, so
+// its final commit time is known).
+func (e *Epochs) Assign(exec, load, store bool, seq uint64, t int64) (v int64, enterAt int64, rel Release) {
+	needNew := e.curr < 0 ||
+		(exec && e.execs >= e.cfg.EpochMaxInsts) ||
+		(load && e.loads >= e.cfg.EpochMaxLoads) ||
+		(store && e.stores >= e.cfg.EpochMaxStores)
+	enterAt = t
+	if needNew {
+		if e.curr >= 0 {
+			rel = e.release(e.curr)
+		}
+		v = e.next
+		e.next++
+		p := e.Physical(v)
+		if e.bankFree[p] > enterAt {
+			enterAt = e.bankFree[p]
+		}
+		e.curr = v
+		e.execs, e.loads, e.stores = 0, 0, 0
+		e.info[v] = &epochInfo{open: enterAt}
+		e.Opened++
+	} else {
+		v = e.curr
+	}
+	if exec {
+		e.execs++
+	}
+	if load {
+		e.loads++
+	}
+	if store {
+		e.stores++
+	}
+	e.info[v].lastSeq = seq
+	return v, enterAt, rel
+}
+
+// release closes epoch v and accounts its lifetime. Its last commit time is
+// final because all its members have been processed.
+func (e *Epochs) release(v int64) Release {
+	inf := e.info[v]
+	inf.closed = true
+	p := e.Physical(v)
+	e.bankFree[p] = inf.lastCommit
+	e.ActiveCycleSum += inf.lastCommit - inf.open
+	delete(e.info, v)
+	if e.curr == v {
+		e.curr = -1
+	}
+	return Release{V: v, At: inf.lastCommit, OK: true}
+}
+
+// Issue reserves an issue slot on epoch v's engine at the earliest cycle >=
+// ready respecting the engine's issue width.
+func (e *Epochs) Issue(v int64, ready int64) int64 {
+	return e.cal[e.Physical(v)].Reserve(ready)
+}
+
+// Committed records that the op with sequence seq of virtual epoch v
+// committed at cycle t. Commit is in order, so the epoch's last observed
+// commit is its release time once it closes.
+func (e *Epochs) Committed(v int64, seq uint64, t int64) {
+	if inf, ok := e.info[v]; ok {
+		if t > inf.lastCommit {
+			inf.lastCommit = t
+		}
+	}
+}
+
+// CloseAll force-closes the open epoch (end of simulation) and returns its
+// release record so accounting and filter clearing still happen.
+func (e *Epochs) CloseAll() Release {
+	if e.curr >= 0 {
+		return e.release(e.curr)
+	}
+	return Release{}
+}
+
+// InFlight reports how many epochs are currently allocated.
+func (e *Epochs) InFlight() int { return len(e.info) }

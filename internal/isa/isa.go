@@ -1,0 +1,143 @@
+// Package isa defines the dynamic-instruction model used throughout the
+// simulator. The model is deliberately architecture-neutral: the paper's
+// evaluation runs Alpha binaries, but every result is driven by instruction
+// *classes* (integer/FP ALU ops, loads, stores, branches), register dataflow
+// and effective addresses, which is exactly what this package captures.
+package isa
+
+import "fmt"
+
+// OpClass classifies a dynamic instruction by the functional unit it needs.
+type OpClass uint8
+
+const (
+	// OpNop is a no-op (used for padding and squashed slots).
+	OpNop OpClass = iota
+	// OpIntAlu is a single-cycle integer operation.
+	OpIntAlu
+	// OpIntMul is a multi-cycle integer multiply/divide.
+	OpIntMul
+	// OpFpAlu is a pipelined floating-point add/sub/convert.
+	OpFpAlu
+	// OpFpMul is a pipelined floating-point multiply (or fused multiply-add).
+	OpFpMul
+	// OpLoad reads memory. Addr/Size are valid.
+	OpLoad
+	// OpStore writes memory. Addr/Size are valid.
+	OpStore
+	// OpBranch is a conditional or indirect control transfer.
+	OpBranch
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+// String implements fmt.Stringer.
+func (c OpClass) String() string {
+	switch c {
+	case OpNop:
+		return "nop"
+	case OpIntAlu:
+		return "ialu"
+	case OpIntMul:
+		return "imul"
+	case OpFpAlu:
+		return "falu"
+	case OpFpMul:
+		return "fmul"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("opclass(%d)", uint8(c))
+	}
+}
+
+// IsMem reports whether the class accesses memory.
+func (c OpClass) IsMem() bool { return c == OpLoad || c == OpStore }
+
+// Register file geometry. Registers 0..NumIntRegs-1 are integer, the rest FP.
+const (
+	NumIntRegs = 32
+	NumFpRegs  = 32
+	// NumRegs is the total logical register count.
+	NumRegs = NumIntRegs + NumFpRegs
+	// NoReg marks an absent operand or destination.
+	NoReg = int16(-1)
+)
+
+// Inst is one dynamic instruction on the committed (or wrong) path.
+//
+// Because the stream is the committed program order and the modelled
+// processor renames registers, logical-register dataflow equals true
+// dataflow: WAR/WAW hazards do not exist, so producers are simply the last
+// writers of Src1/Src2.
+//
+// Operand conventions: for loads, Src1 is the address source; for stores,
+// Src1 is the address source and Src2 the data source (so address
+// calculation readiness and data readiness are tracked separately, which
+// the restricted-SAC analysis depends on); for branches, Src1 is the
+// condition source.
+type Inst struct {
+	// Seq is the dynamic sequence number (program order, 0-based).
+	Seq uint64
+	// Op is the instruction class.
+	Op OpClass
+	// Dst is the destination logical register, NoReg if none.
+	Dst int16
+	// Src1, Src2 are source logical registers, NoReg if unused.
+	Src1, Src2 int16
+	// Addr is the effective byte address for loads/stores.
+	Addr uint64
+	// Size is the access width in bytes for loads/stores (1, 2, 4 or 8).
+	Size uint8
+	// Taken is the branch outcome (branches only).
+	Taken bool
+	// Mispred marks a branch the modelled predictor gets wrong.
+	Mispred bool
+	// WrongPath marks an instruction injected beyond a mispredicted branch;
+	// it consumes resources and is squashed, never committed.
+	WrongPath bool
+}
+
+// IsLoad reports whether the instruction is a load.
+func (in *Inst) IsLoad() bool { return in.Op == OpLoad }
+
+// IsStore reports whether the instruction is a store.
+func (in *Inst) IsStore() bool { return in.Op == OpStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Inst) IsMem() bool { return in.Op.IsMem() }
+
+// Overlaps reports whether two memory accesses touch at least one common
+// byte. It is the address-match predicate used by every disambiguation
+// scheme in the simulator.
+func Overlaps(addrA uint64, sizeA uint8, addrB uint64, sizeB uint8) bool {
+	endA := addrA + uint64(sizeA)
+	endB := addrB + uint64(sizeB)
+	return addrA < endB && addrB < endA
+}
+
+// Latency returns the functional-unit latency in cycles for non-memory
+// classes. Loads and stores resolve through the cache model instead.
+func Latency(c OpClass) int {
+	switch c {
+	case OpIntAlu, OpBranch, OpNop, OpStore:
+		// Store latency here is address generation only.
+		return 1
+	case OpIntMul:
+		return 3
+	case OpFpAlu:
+		return 2
+	case OpFpMul:
+		return 4
+	case OpLoad:
+		return 1 // address generation; memory latency added separately
+	default:
+		return 1
+	}
+}

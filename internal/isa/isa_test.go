@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		OpNop:    "nop",
+		OpIntAlu: "ialu",
+		OpIntMul: "imul",
+		OpFpAlu:  "falu",
+		OpFpMul:  "fmul",
+		OpLoad:   "load",
+		OpStore:  "store",
+		OpBranch: "branch",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("OpClass(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := OpClass(200).String(); got != "opclass(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for op := OpClass(0); op < OpClass(NumOpClasses); op++ {
+		want := op == OpLoad || op == OpStore
+		if op.IsMem() != want {
+			t.Errorf("%v.IsMem() = %v, want %v", op, op.IsMem(), want)
+		}
+	}
+	ld := Inst{Op: OpLoad}
+	st := Inst{Op: OpStore}
+	if !ld.IsLoad() || ld.IsStore() || !ld.IsMem() {
+		t.Error("load inst predicates wrong")
+	}
+	if !st.IsStore() || st.IsLoad() || !st.IsMem() {
+		t.Error("store inst predicates wrong")
+	}
+}
+
+func TestOverlapsBasic(t *testing.T) {
+	tests := []struct {
+		a    uint64
+		sa   uint8
+		b    uint64
+		sb   uint8
+		want bool
+	}{
+		{100, 4, 100, 4, true},   // identical
+		{100, 4, 104, 4, false},  // adjacent
+		{100, 4, 103, 1, true},   // last byte
+		{100, 8, 104, 4, true},   // contained
+		{104, 4, 100, 8, true},   // container
+		{100, 1, 101, 1, false},  // disjoint bytes
+		{0, 8, 4, 8, true},       // partial
+		{1000, 4, 200, 4, false}, // far apart
+	}
+	for _, tt := range tests {
+		if got := Overlaps(tt.a, tt.sa, tt.b, tt.sb); got != tt.want {
+			t.Errorf("Overlaps(%d,%d,%d,%d) = %v, want %v", tt.a, tt.sa, tt.b, tt.sb, got, tt.want)
+		}
+	}
+}
+
+func TestOverlapsProperties(t *testing.T) {
+	// Symmetry: Overlaps(a, b) == Overlaps(b, a).
+	sym := func(a, b uint64, sa, sb uint8) bool {
+		a %= 1 << 40
+		b %= 1 << 40
+		sa = sa%8 + 1
+		sb = sb%8 + 1
+		return Overlaps(a, sa, b, sb) == Overlaps(b, sb, a, sa)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("overlap symmetry violated: %v", err)
+	}
+	// Reflexivity for non-zero sizes.
+	refl := func(a uint64, sa uint8) bool {
+		a %= 1 << 40
+		sa = sa%8 + 1
+		return Overlaps(a, sa, a, sa)
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("overlap reflexivity violated: %v", err)
+	}
+	// Disjointness: blocks separated by >= size never overlap.
+	disj := func(a uint64, sa uint8) bool {
+		a %= 1 << 40
+		sa = sa%8 + 1
+		return !Overlaps(a, sa, a+uint64(sa), sa)
+	}
+	if err := quick.Check(disj, nil); err != nil {
+		t.Errorf("adjacent blocks must not overlap: %v", err)
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := OpClass(0); op < OpClass(NumOpClasses); op++ {
+		if Latency(op) <= 0 {
+			t.Errorf("Latency(%v) = %d, want positive", op, Latency(op))
+		}
+	}
+	if Latency(OpIntMul) <= Latency(OpIntAlu) {
+		t.Error("integer multiply should be slower than ALU op")
+	}
+}

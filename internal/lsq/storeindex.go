@@ -1,0 +1,126 @@
+package lsq
+
+// StoreIndex tracks the in-flight store window and answers the queries every
+// disambiguation scheme needs in O(candidates) instead of O(window): the
+// older overlapping stores for a load (via an 8-byte-block address index;
+// with naturally aligned accesses of at most 8 bytes, overlap implies a
+// shared block) and the presence of older address-unresolved stores.
+//
+// The index is an oracle over the simulated program: it knows each store's
+// eventual address even before its simulated AddrReady cycle. Queries expose
+// only hardware-visible state by filtering on AddrReady and Commit against
+// the query cycle, except CandidatesOracle, which the pipeline model uses to
+// detect true ordering violations.
+type StoreIndex struct {
+	byBlock map[uint64][]*MemOp
+	// lateAddr holds stores whose address resolves long after dispatch
+	// (the only ones that can be "unresolved" at a later load's issue,
+	// beyond the handful of just-dispatched stores tracked in recent).
+	lateAddr []*MemOp
+	// recent is a short ring of the youngest stores, whose addresses may
+	// not have resolved yet relative to a load issued immediately after.
+	recent [16]*MemOp
+	rpos   int
+	adds   uint64
+}
+
+// NewStoreIndex returns an empty index.
+func NewStoreIndex() *StoreIndex {
+	return &StoreIndex{byBlock: make(map[uint64][]*MemOp)}
+}
+
+func blockOf(addr uint64) uint64 { return addr >> 3 }
+
+// Add registers a processed store (all its times already computed).
+func (ix *StoreIndex) Add(st *MemOp) {
+	if !st.Store {
+		panic("lsq: StoreIndex.Add of a load")
+	}
+	b := blockOf(st.Addr)
+	ix.byBlock[b] = append(ix.byBlock[b], st)
+	if st.AddrReady > st.Dispatch+8 {
+		ix.lateAddr = append(ix.lateAddr, st)
+	}
+	ix.recent[ix.rpos] = st
+	ix.rpos = (ix.rpos + 1) % len(ix.recent)
+	ix.adds++
+	if ix.adds%4096 == 0 {
+		ix.compact()
+	}
+}
+
+// compact drops long-committed entries so memory stays bounded by the
+// window size. An entry is dropped only when its commit is far behind the
+// youngest dispatch, so slightly out-of-order query times remain safe.
+func (ix *StoreIndex) compact() {
+	var horizon int64
+	for _, sts := range ix.byBlock {
+		for _, st := range sts {
+			if st.Dispatch > horizon {
+				horizon = st.Dispatch
+			}
+		}
+	}
+	horizon -= 1 << 14
+	for b, sts := range ix.byBlock {
+		kept := sts[:0]
+		for _, st := range sts {
+			if st.Commit == 0 || st.Commit > horizon {
+				kept = append(kept, st)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.byBlock, b)
+		} else {
+			ix.byBlock[b] = kept
+		}
+	}
+	keptLate := ix.lateAddr[:0]
+	for _, st := range ix.lateAddr {
+		if st.Commit == 0 || st.Commit > horizon {
+			keptLate = append(keptLate, st)
+		}
+	}
+	ix.lateAddr = keptLate
+}
+
+// Candidates returns the older stores overlapping ld that are in flight at
+// t with addresses known to the hardware by t, ascending by age.
+func (ix *StoreIndex) Candidates(ld *MemOp, t int64) []*MemOp {
+	var out []*MemOp
+	for _, st := range ix.byBlock[blockOf(ld.Addr)] {
+		if st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady <= t && st.Overlaps(ld) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// CandidatesOracle returns every older in-flight store overlapping ld at t
+// regardless of address resolution — the ground truth the pipeline model
+// uses to detect store→load ordering violations.
+func (ix *StoreIndex) CandidatesOracle(ld *MemOp, t int64) []*MemOp {
+	var out []*MemOp
+	for _, st := range ix.byBlock[blockOf(ld.Addr)] {
+		if st.Seq < ld.Seq && st.InFlightAt(t) && st.Overlaps(ld) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Unresolved reports whether any store older than ld and in flight at t had
+// an unknown address at t (the no-unresolved-store-filter input).
+func (ix *StoreIndex) Unresolved(ld *MemOp, t int64) bool {
+	for _, st := range ix.lateAddr {
+		if st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady > t {
+			return true
+		}
+	}
+	for _, st := range ix.recent {
+		if st != nil && st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady > t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+// Package mem implements the simulated memory hierarchy: set-associative
+// write-allocate caches with true LRU replacement and per-line locking (the
+// line-based Epoch Resolution Table pins referenced lines in the L1, Section
+// 3.4 of the paper), backed by a fixed-latency main memory.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/config"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+	// locks counts active ERT references pinning this line (line-based ERT
+	// only). A line with locks > 0 is never replaced.
+	locks int
+}
+
+// Cache is a single set-associative cache level with LRU replacement and
+// line locking.
+type Cache struct {
+	cfg      config.CacheConfig
+	sets     [][]line
+	setShift uint // log2(line bytes)
+	setMask  uint64
+	useClock uint64
+	// Accesses and Misses count every lookup and every miss.
+	Accesses, Misses uint64
+}
+
+// NewCache builds a cache from its geometry. It panics on degenerate
+// geometry; validate configs with config.Validate first.
+func NewCache(cfg config.CacheConfig) *Cache {
+	nsets := cfg.Sets()
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("mem: set count %d must be a positive power of two", nsets))
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("mem: line size %d must be a power of two", cfg.LineBytes))
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(nsets - 1),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// setIndex returns the set holding addr.
+func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.setShift) & c.setMask }
+
+// tagOf returns the tag of addr.
+func (c *Cache) tagOf(addr uint64) uint64 { return (addr >> c.setShift) / uint64(len(c.sets)) }
+
+// LineSlot identifies a physical line (set, way) for the line-based ERT.
+type LineSlot struct {
+	Set, Way int
+}
+
+// SlotIndex returns a dense index for the slot, suitable for table indexing.
+func (c *Cache) SlotIndex(s LineSlot) int { return s.Set*c.cfg.Ways + s.Way }
+
+// NumSlots returns the number of physical lines.
+func (c *Cache) NumSlots() int { return len(c.sets) * c.cfg.Ways }
+
+// Lookup probes the cache without allocating. It returns the slot on hit.
+func (c *Cache) Lookup(addr uint64) (LineSlot, bool) {
+	set := int(c.setIndex(addr))
+	tag := c.tagOf(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return LineSlot{Set: set, Way: w}, true
+		}
+	}
+	return LineSlot{}, false
+}
+
+// Access performs a lookup, updates LRU, and reports hit/miss. On a miss it
+// does NOT allocate; callers use Allocate so fills from the next level are
+// explicit.
+func (c *Cache) Access(addr uint64) (LineSlot, bool) {
+	c.Accesses++
+	c.useClock++
+	slot, hit := c.Lookup(addr)
+	if hit {
+		c.sets[slot.Set][slot.Way].lastUse = c.useClock
+		return slot, true
+	}
+	c.Misses++
+	return LineSlot{}, false
+}
+
+// Allocate fills addr's line, evicting the LRU unlocked line. It returns the
+// slot and ok=false when every way in the set is locked (the line-ERT
+// overflow case the paper resolves by stalling or squashing).
+func (c *Cache) Allocate(addr uint64) (LineSlot, bool) {
+	set := int(c.setIndex(addr))
+	tag := c.tagOf(addr)
+	c.useClock++
+	// Already present (e.g. racing fill): refresh.
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.useClock
+			return LineSlot{Set: set, Way: w}, true
+		}
+	}
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.locks > 0 {
+			continue
+		}
+		if !l.valid {
+			victim = w
+			break
+		}
+		if l.lastUse < oldest {
+			oldest = l.lastUse
+			victim = w
+		}
+	}
+	if victim < 0 {
+		return LineSlot{}, false // all ways locked
+	}
+	c.sets[set][victim] = line{tag: tag, valid: true, lastUse: c.useClock}
+	return LineSlot{Set: set, Way: victim}, true
+}
+
+// Lock pins the line at slot against replacement. Locks nest.
+func (c *Cache) Lock(s LineSlot) { c.sets[s.Set][s.Way].locks++ }
+
+// Unlock releases one lock on the line at slot.
+func (c *Cache) Unlock(s LineSlot) {
+	l := &c.sets[s.Set][s.Way]
+	if l.locks <= 0 {
+		panic("mem: unlock of unlocked line")
+	}
+	l.locks--
+}
+
+// Locked reports whether the line at slot has any active locks.
+func (c *Cache) Locked(s LineSlot) bool { return c.sets[s.Set][s.Way].locks > 0 }
+
+// LockedInSet returns how many ways of addr's set are currently locked.
+func (c *Cache) LockedInSet(addr uint64) int {
+	set := int(c.setIndex(addr))
+	n := 0
+	for w := range c.sets[set] {
+		if c.sets[set][w].locks > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,82 @@
+// Package noc models the FMC interconnect (Figure 6 of the paper): a bus
+// between the Cache Processor and the Memory Processor with a 4-cycle
+// one-way latency, and a mesh linking the memory engines at one hop per
+// cycle. Latency is computed analytically (the paper's single-cycle router
+// citation [14] justifies contention-free hops); traffic is counted for the
+// Table 2 "RoundTrips" column.
+package noc
+
+// Mesh is a W x H grid of memory engines, indexed 0..W*H-1 in row-major
+// order.
+type Mesh struct {
+	w, h    int
+	hopCost int
+	// Hops accumulates the total hop count of all traversals.
+	Hops uint64
+}
+
+// NewMesh returns a mesh of the given width and height with the given
+// per-hop latency in cycles.
+func NewMesh(w, h, hopCost int) *Mesh {
+	if w <= 0 || h <= 0 || hopCost < 0 {
+		panic("noc: invalid mesh geometry")
+	}
+	return &Mesh{w: w, h: h, hopCost: hopCost}
+}
+
+// Size returns the number of nodes.
+func (m *Mesh) Size() int { return m.w * m.h }
+
+// Distance returns the Manhattan hop count between engines a and b.
+func (m *Mesh) Distance(a, b int) int {
+	ax, ay := a%m.w, a/m.w
+	bx, by := b%m.w, b/m.w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Traverse returns the latency of a message from engine a to engine b and
+// records the hops.
+func (m *Mesh) Traverse(a, b int) int {
+	d := m.Distance(a, b)
+	m.Hops += uint64(d)
+	return d * m.hopCost
+}
+
+// Bus is the CP<->MP link with a fixed one-way latency.
+type Bus struct {
+	oneWay int
+	// OneWays and RoundTrips count traversals for the energy analysis.
+	OneWays, RoundTrips uint64
+}
+
+// NewBus returns a bus with the given one-way latency in cycles.
+func NewBus(oneWay int) *Bus {
+	if oneWay < 0 {
+		panic("noc: negative bus latency")
+	}
+	return &Bus{oneWay: oneWay}
+}
+
+// OneWay records a single CP->MP (or MP->CP) message and returns its
+// latency.
+func (b *Bus) OneWay() int {
+	b.OneWays++
+	return b.oneWay
+}
+
+// RoundTrip records a request/response pair and returns its total latency.
+func (b *Bus) RoundTrip() int {
+	b.RoundTrips++
+	return 2 * b.oneWay
+}
+
+// OneWayLatency returns the configured one-way latency without recording
+// traffic.
+func (b *Bus) OneWayLatency() int { return b.oneWay }

@@ -1,0 +1,93 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshDistance(t *testing.T) {
+	m := NewMesh(4, 4, 1)
+	tests := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one row down
+		{0, 15, 6}, // opposite corner of 4x4
+		{5, 10, 2},
+	}
+	for _, tt := range tests {
+		if got := m.Distance(tt.a, tt.b); got != tt.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMeshDistanceProperties(t *testing.T) {
+	m := NewMesh(4, 4, 1)
+	sym := func(a, b uint8) bool {
+		x, y := int(a)%16, int(b)%16
+		return m.Distance(x, y) == m.Distance(y, x)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("distance symmetry: %v", err)
+	}
+	tri := func(a, b, c uint8) bool {
+		x, y, z := int(a)%16, int(b)%16, int(c)%16
+		return m.Distance(x, z) <= m.Distance(x, y)+m.Distance(y, z)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestMeshTraverse(t *testing.T) {
+	m := NewMesh(4, 4, 2)
+	if lat := m.Traverse(0, 15); lat != 12 {
+		t.Errorf("Traverse latency = %d, want 12", lat)
+	}
+	if m.Hops != 6 {
+		t.Errorf("Hops = %d, want 6", m.Hops)
+	}
+	if m.Size() != 16 {
+		t.Errorf("Size = %d", m.Size())
+	}
+}
+
+func TestBus(t *testing.T) {
+	b := NewBus(4)
+	if lat := b.OneWay(); lat != 4 {
+		t.Errorf("OneWay = %d", lat)
+	}
+	if lat := b.RoundTrip(); lat != 8 {
+		t.Errorf("RoundTrip = %d", lat)
+	}
+	if b.OneWays != 1 || b.RoundTrips != 1 {
+		t.Errorf("traffic = %d/%d", b.OneWays, b.RoundTrips)
+	}
+	if b.OneWayLatency() != 4 {
+		t.Error("OneWayLatency wrong")
+	}
+	if b.OneWays != 1 {
+		t.Error("OneWayLatency must not count traffic")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMesh(0, 4, 1) },
+		func() { NewMesh(4, 0, 1) },
+		func() { NewMesh(4, 4, -1) },
+		func() { NewBus(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+// Package sched provides the resource calendar used by the pipeline model:
+// a ring-buffer reservation table that answers "earliest cycle >= t with a
+// free slot" for width-limited resources (fetch slots, issue ports, cache
+// ports, commit slots, migration bandwidth).
+package sched
+
+// Calendar reserves up to width events per cycle. Slots are tracked in a
+// ring keyed by cycle; entries are cleared lazily when a new cycle maps
+// onto them, so reservation times may be moderately out of order as long as
+// the spread stays below the horizon.
+type Calendar struct {
+	width uint16
+	cycle []int64
+	used  []uint16
+	mask  int64
+}
+
+// NewCalendar returns a calendar admitting width events per cycle with the
+// given horizon (rounded up to a power of two). The horizon must exceed the
+// maximum spread between in-flight reservation times; the pipeline model's
+// spread is bounded by the instruction window lifetime.
+func NewCalendar(width, horizon int) *Calendar {
+	if width <= 0 || horizon <= 0 {
+		panic("sched: invalid calendar geometry")
+	}
+	n := 1
+	for n < horizon {
+		n <<= 1
+	}
+	return &Calendar{
+		width: uint16(width),
+		cycle: make([]int64, n),
+		used:  make([]uint16, n),
+		mask:  int64(n - 1),
+	}
+}
+
+// Reserve books one slot at the earliest cycle >= t and returns it.
+func (c *Calendar) Reserve(t int64) int64 {
+	if t < 0 {
+		t = 0
+	}
+	for {
+		i := t & c.mask
+		if c.cycle[i] != t {
+			c.cycle[i] = t
+			c.used[i] = 0
+		}
+		if c.used[i] < c.width {
+			c.used[i]++
+			return t
+		}
+		t++
+	}
+}
+
+// Width returns the per-cycle capacity.
+func (c *Calendar) Width() int { return int(c.width) }
+
+// Ring is a fixed-capacity FIFO of release times used to model occupancy
+// constraints (ROB, issue queues, LSQ entries): dispatching the i-th entry
+// requires the (i-capacity)-th entry's release time to have passed.
+type Ring struct {
+	times []int64
+	pos   int
+}
+
+// NewRing returns a ring modelling a structure with the given capacity.
+// A non-positive capacity means unlimited (FreeAt always returns 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{}
+	}
+	return &Ring{times: make([]int64, capacity)}
+}
+
+// FreeAt returns the earliest cycle a new entry can be allocated.
+func (r *Ring) FreeAt() int64 {
+	if len(r.times) == 0 {
+		return 0
+	}
+	return r.times[r.pos]
+}
+
+// Push records the release time of the entry just allocated.
+func (r *Ring) Push(release int64) {
+	if len(r.times) == 0 {
+		return
+	}
+	r.times[r.pos] = release
+	r.pos = (r.pos + 1) % len(r.times)
+}

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarWidth(t *testing.T) {
+	c := NewCalendar(2, 64)
+	if c.Width() != 2 {
+		t.Fatalf("Width = %d", c.Width())
+	}
+	// Two reservations fit in cycle 5; the third spills to 6.
+	if got := c.Reserve(5); got != 5 {
+		t.Errorf("first = %d", got)
+	}
+	if got := c.Reserve(5); got != 5 {
+		t.Errorf("second = %d", got)
+	}
+	if got := c.Reserve(5); got != 6 {
+		t.Errorf("third = %d, want 6", got)
+	}
+}
+
+func TestCalendarNegativeClamped(t *testing.T) {
+	c := NewCalendar(1, 64)
+	if got := c.Reserve(-10); got != 0 {
+		t.Errorf("Reserve(-10) = %d, want 0", got)
+	}
+}
+
+func TestCalendarOutOfOrder(t *testing.T) {
+	c := NewCalendar(1, 1024)
+	if got := c.Reserve(100); got != 100 {
+		t.Errorf("got %d", got)
+	}
+	// Earlier cycle still free.
+	if got := c.Reserve(50); got != 50 {
+		t.Errorf("got %d", got)
+	}
+	// Cycle 100 is taken; next free is 101.
+	if got := c.Reserve(100); got != 101 {
+		t.Errorf("got %d, want 101", got)
+	}
+}
+
+func TestCalendarNeverBelowRequest(t *testing.T) {
+	f := func(times []uint16) bool {
+		c := NewCalendar(2, 4096)
+		for _, raw := range times {
+			want := int64(raw % 2000)
+			got := c.Reserve(want)
+			if got < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Per-cycle capacity is never exceeded within the horizon.
+func TestCalendarCapacityProperty(t *testing.T) {
+	c := NewCalendar(3, 4096)
+	counts := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		got := c.Reserve(int64(i % 50))
+		counts[got]++
+	}
+	for cycle, n := range counts {
+		if n > 3 {
+			t.Fatalf("cycle %d has %d reservations, width 3", cycle, n)
+		}
+	}
+}
+
+func TestCalendarPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCalendar(0, 16) },
+		func() { NewCalendar(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid calendar accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRingCapacity(t *testing.T) {
+	r := NewRing(2)
+	if r.FreeAt() != 0 {
+		t.Error("fresh ring not free")
+	}
+	r.Push(10)
+	r.Push(20)
+	// Third allocation must wait for the first release.
+	if got := r.FreeAt(); got != 10 {
+		t.Errorf("FreeAt = %d, want 10", got)
+	}
+	r.Push(30)
+	if got := r.FreeAt(); got != 20 {
+		t.Errorf("FreeAt = %d, want 20", got)
+	}
+}
+
+func TestRingUnlimited(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 100; i++ {
+		r.Push(int64(i))
+	}
+	if r.FreeAt() != 0 {
+		t.Error("unlimited ring backpressured")
+	}
+}

@@ -1,0 +1,168 @@
+// Package stats provides the counters and histograms used to report every
+// figure and table in the reproduction. All values are plain integers or
+// float64s accumulated single-threadedly by the simulator; per-100M-inst
+// normalisation (the paper's reporting unit) is provided by Per100M.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Per100M scales an event count observed over n committed instructions to
+// the paper's "events per 100 million committed instructions" unit.
+func Per100M(events uint64, committed uint64) float64 {
+	if committed == 0 {
+		return 0
+	}
+	return float64(events) * 1e8 / float64(committed)
+}
+
+// Histogram is a fixed-width bucketed histogram, used for the Figure 1
+// decode→address-calculation latency distributions (30-cycle buckets in the
+// paper).
+type Histogram struct {
+	// Width is the bucket width in x units.
+	Width int
+	// Counts[i] counts samples with x in [i*Width, (i+1)*Width).
+	Counts []uint64
+	// Total is the number of samples.
+	Total uint64
+	// Overflow counts samples beyond the last bucket.
+	Overflow uint64
+}
+
+// NewHistogram returns a histogram with the given bucket width and number of
+// buckets.
+func NewHistogram(width, buckets int) *Histogram {
+	if width <= 0 || buckets <= 0 {
+		panic("stats: histogram needs positive width and bucket count")
+	}
+	return &Histogram{Width: width, Counts: make([]uint64, buckets)}
+}
+
+// Add records one sample at x (x < 0 is clamped to bucket zero).
+func (h *Histogram) Add(x int) {
+	h.Total++
+	if x < 0 {
+		x = 0
+	}
+	b := x / h.Width
+	if b >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[b]++
+}
+
+// Percentile returns the smallest x (bucket upper edge) covering at least
+// frac of all samples, e.g. Percentile(0.95) is the paper's "95%" marker.
+func (h *Histogram) Percentile(frac float64) int {
+	if h.Total == 0 {
+		return 0
+	}
+	target := uint64(frac * float64(h.Total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return (i + 1) * h.Width
+		}
+	}
+	return (len(h.Counts) + 1) * h.Width // overflow region
+}
+
+// FracWithin returns the fraction of samples with x < limit.
+func (h *Histogram) FracWithin(limit int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		if (i+1)*h.Width > limit {
+			// partial bucket: attribute proportionally
+			if i*h.Width < limit {
+				cum += c * uint64(limit-i*h.Width) / uint64(h.Width)
+			}
+			break
+		}
+		cum += c
+	}
+	return float64(cum) / float64(h.Total)
+}
+
+// Merge adds other's samples into h. Histograms must have identical shape.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.Width != other.Width || len(h.Counts) != len(other.Counts) {
+		panic("stats: merging incompatible histograms")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += other.Total
+	h.Overflow += other.Overflow
+}
+
+// Mean computes the arithmetic mean of xs; it returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Counters is a string-keyed event-counter bag. The simulator increments
+// named events (e.g. "hlsq.search", "ert.lookup", "noc.roundtrip"); the
+// experiment harness reads them out for Table 2 style reports.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.m[name]++ }
+
+// Add adds n to the named counter.
+func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+
+// Get returns the named counter (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Merge adds every counter of other into c.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the counters as "name=value" lines, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, c.m[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+// Package svw implements the load re-execution baseline of Sections 3.5 and
+// 5.6: Store Vulnerability Windows (Roth, ISCA 2005) with a Store Sequence
+// Bloom Filter, optionally combined with the no-unresolved-store filter
+// (Cain & Lipasti, ISCA 2004) — the paper's "CheckStores" variant versus
+// "Blind".
+//
+// The scheme removes the associative load queue: stores perform no
+// violation search; instead a load consults the SSBF when it commits and
+// re-executes (an extra data-cache access that also delays younger stores'
+// commit) if a store inside its vulnerability window — younger than the
+// store it forwarded from, committed after it executed — may alias its
+// address.
+package svw
+
+import (
+	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/lsq"
+	"repro/internal/stats"
+)
+
+// Engine drives SVW re-execution at commit time.
+type Engine struct {
+	ssbf    *filter.SSBF
+	variant config.SVWVariant
+	// commitAt[i] is the commit cycle of the youngest store hashed into
+	// SSBF entry i (parallel to the SSBF's sequence numbers).
+	commitAt []int64
+	bits     int
+	c        *stats.Counters
+}
+
+// New builds an SVW engine with a 2^bits-entry SSBF.
+func New(bits int, variant config.SVWVariant) *Engine {
+	return &Engine{
+		ssbf:     filter.NewSSBF(bits),
+		variant:  variant,
+		commitAt: make([]int64, 1<<uint(bits)),
+		bits:     bits,
+		c:        stats.NewCounters(),
+	}
+}
+
+// Variant returns the configured filtering variant.
+func (e *Engine) Variant() config.SVWVariant { return e.variant }
+
+// Counters exposes the engine's event counts.
+func (e *Engine) Counters() *stats.Counters { return e.c }
+
+// SSBFAccesses returns total SSBF reads+writes (the Table 2 SSBF column).
+func (e *Engine) SSBFAccesses() uint64 { return e.ssbf.Reads + e.ssbf.Writes }
+
+// StoreCommitted records a store's commit: its program-order sequence
+// number and commit cycle are written into the SSBF under its address.
+func (e *Engine) StoreCommitted(addr uint64, seq uint64, commitCycle int64) {
+	e.ssbf.CommitStore(addr, seq)
+	e.commitAt[filter.HashIndex(addr, e.bits)] = commitCycle
+}
+
+// LoadCommitting decides whether the committing load must re-execute. The
+// SSBF holds the youngest committed store that may alias the load's
+// address; the load is vulnerable if that store committed after the load
+// issued AND is younger than the load's forwarding source (a load that
+// forwarded from the youngest matching store already has that store's
+// value). The CheckStores variant additionally skips loads that issued with
+// no older address-unresolved store in flight — such loads saw every
+// relevant address and cannot have been wrong.
+func (e *Engine) LoadCommitting(ld *lsq.MemOp) bool {
+	seq, ok := e.ssbf.LastStore(ld.Addr)
+	if !ok {
+		return false
+	}
+	if e.commitAt[filter.HashIndex(ld.Addr, e.bits)] <= ld.Issued {
+		return false // the aliasing store was already visible at issue
+	}
+	if ld.ForwardedFrom != 0 && seq < ld.ForwardedFrom {
+		return false // forwarded from that store (or younger): value is current
+	}
+	if e.variant == config.SVWCheckStores && !ld.UnresolvedOlderStore {
+		e.c.Inc("reexec_filtered")
+		return false
+	}
+	e.c.Inc("reexec")
+	return true
+}

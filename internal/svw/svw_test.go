@@ -1,0 +1,117 @@
+package svw
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/lsq"
+)
+
+func TestNoReexecWithoutStores(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	ld := &lsq.MemOp{Seq: 1, Addr: 0x100, Size: 8, Issued: 50}
+	if e.LoadCommitting(ld) {
+		t.Error("load re-executed with empty SSBF")
+	}
+}
+
+func TestReexecWhenAliasingStoreCommitsAfterIssue(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	// Store to the same address commits at cycle 100; load issued at 50.
+	e.StoreCommitted(0x100, 5, 100)
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x100, Size: 8, Issued: 50}
+	if !e.LoadCommitting(ld) {
+		t.Error("vulnerable load not re-executed")
+	}
+	if e.Counters().Get("reexec") != 1 {
+		t.Error("reexec not counted")
+	}
+}
+
+func TestNoReexecWhenStoreVisibleAtIssue(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	// Store committed at 40, load issued at 50: the load saw it in the
+	// cache — not vulnerable.
+	e.StoreCommitted(0x100, 5, 40)
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x100, Size: 8, Issued: 50}
+	if e.LoadCommitting(ld) {
+		t.Error("safe load re-executed")
+	}
+}
+
+func TestCheckStoresFiltersResolvedLoads(t *testing.T) {
+	blind := New(10, config.SVWBlind)
+	check := New(10, config.SVWCheckStores)
+	blind.StoreCommitted(0x200, 5, 100)
+	check.StoreCommitted(0x200, 5, 100)
+	// Load issued at 50 with NO unresolved older stores: CheckStores
+	// (the no-unresolved-store filter) skips the re-execution, Blind pays.
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x200, Size: 8, Issued: 50}
+	if !blind.LoadCommitting(ld) {
+		t.Error("blind variant skipped a vulnerable hash")
+	}
+	ld2 := *ld
+	if check.LoadCommitting(&ld2) {
+		t.Error("CheckStores re-executed a fully resolved load")
+	}
+	if check.Counters().Get("reexec_filtered") != 1 {
+		t.Error("filtered re-execution not counted")
+	}
+	// With an unresolved older store it must re-execute.
+	ld3 := *ld
+	ld3.UnresolvedOlderStore = true
+	if !check.LoadCommitting(&ld3) {
+		t.Error("CheckStores skipped an unresolved-store load")
+	}
+}
+
+func TestAliasingCausesFalseReexec(t *testing.T) {
+	// SSBF aliasing: a store to a different address with the same hash
+	// triggers a false re-execution — fewer index bits, more aliasing
+	// (the 8/10/12-bit sweep of Figure 10).
+	e := New(8, config.SVWBlind)
+	a := uint64(0x100)
+	b := a + (1 << (8 + 3)) // aliases under 8 bits
+	e.StoreCommitted(b, 5, 100)
+	ld := &lsq.MemOp{Seq: 9, Addr: a, Size: 8, Issued: 50}
+	if !e.LoadCommitting(ld) {
+		t.Error("aliased store did not trigger re-execution")
+	}
+	// Under 12 bits the same pair does not alias.
+	e12 := New(12, config.SVWBlind)
+	e12.StoreCommitted(b, 5, 100)
+	ld2 := &lsq.MemOp{Seq: 9, Addr: a, Size: 8, Issued: 50}
+	if e12.LoadCommitting(ld2) {
+		t.Error("12-bit SSBF aliased where it should not")
+	}
+}
+
+// A load that forwarded from the youngest aliasing store is not vulnerable
+// to it — the vulnerability window starts after the forwarding source.
+func TestForwardedLoadNotVulnerableToItsSource(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	e.StoreCommitted(0x40, 7, 100)
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, ForwardedFrom: 8}
+	if e.LoadCommitting(ld) {
+		t.Error("load re-executed against its own forwarding source")
+	}
+	// But a YOUNGER aliasing store than the source still triggers it.
+	e.StoreCommitted(0x40, 8, 120)
+	ld2 := &lsq.MemOp{Seq: 12, Addr: 0x40, Size: 8, Issued: 50, ForwardedFrom: 8}
+	if !e.LoadCommitting(ld2) {
+		t.Error("load not re-executed against a store younger than its source")
+	}
+}
+
+func TestSSBFAccessCounting(t *testing.T) {
+	e := New(10, config.SVWCheckStores)
+	e.StoreCommitted(0x40, 5, 5)
+	ld := &lsq.MemOp{Seq: 3, Addr: 0x40, Size: 8, Issued: 1, UnresolvedOlderStore: true}
+	e.LoadCommitting(ld)
+	if e.SSBFAccesses() != 2 { // one write + one read
+		t.Errorf("SSBFAccesses = %d, want 2", e.SSBFAccesses())
+	}
+	if e.Variant() != config.SVWCheckStores {
+		t.Error("variant lost")
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// memProfile streams n instructions through the default hierarchy and
+// returns memory misses per 1000 instructions and the L1 hit fraction.
+func memProfile(t *testing.T, name string, n uint64) (memPerK, l1Frac float64) {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.New(1)
+	cfg := config.Default()
+	h := mem.NewHierarchy(&cfg)
+	var in isa.Inst
+	// Warm first, measure second.
+	for i := uint64(0); i < n; i++ {
+		g.Next(&in)
+		if in.IsMem() {
+			h.Access(in.Addr)
+		}
+	}
+	var l1, l2, m uint64
+	for i := uint64(0); i < n; i++ {
+		g.Next(&in)
+		if !in.IsMem() {
+			continue
+		}
+		switch lvl, _ := h.Access(in.Addr); lvl {
+		case mem.LevelL1:
+			l1++
+		case mem.LevelL2:
+			l2++
+		default:
+			m++
+		}
+	}
+	acc := l1 + l2 + m
+	if acc == 0 {
+		t.Fatalf("%s made no memory accesses", name)
+	}
+	return 1000 * float64(m) / float64(n), float64(l1) / float64(acc)
+}
+
+// TestMemoryIntensityClasses pins the cache-behaviour classes the suites are
+// built around (see suites.go): cache-resident codes miss ~never, moderate
+// codes miss a few times per 1000 instructions, and the pointer-chase /
+// heavy-stream codes miss an order of magnitude more. These rates are what
+// make the paper's baseline (OoO-64: INT 1.55 / FP 1.42 IPC) and the FMC
+// speed-ups come out with the right shape.
+func TestMemoryIntensityClasses(t *testing.T) {
+	const n = 2_000_000
+	classes := []struct {
+		name     string
+		min, max float64 // mem misses per 1000 insts
+	}{
+		// cache-resident
+		{"eon", 0, 0.2},
+		{"sixtrack", 0, 0.2},
+		{"crafty", 0, 2.5},
+		{"galgel", 0, 1.0},
+		// moderate
+		{"gzip", 0.2, 3.0},
+		{"wupwise", 0.2, 3.0},
+		{"swim", 1.0, 6.0},
+		{"twolf", 0.5, 9.0},
+		// heavy
+		{"art", 3.0, 20.0},
+		{"mcf", 40.0, 160.0},
+		{"equake", 40.0, 170.0},
+	}
+	for _, c := range classes {
+		got, _ := memProfile(t, c.name, n)
+		if got < c.min || got > c.max {
+			t.Errorf("%s: %.2f memory misses per 1000 insts, want [%.1f, %.1f]",
+				c.name, got, c.min, c.max)
+		}
+	}
+}
+
+// TestL1LocalityClasses: stack/stream codes live in the L1; random-probe
+// codes mostly reach the L2.
+func TestL1LocalityClasses(t *testing.T) {
+	const n = 1_000_000
+	if _, l1 := memProfile(t, "eon", n); l1 < 0.95 {
+		t.Errorf("eon L1 fraction %.2f, want ~1 (stack-resident)", l1)
+	}
+	if _, l1 := memProfile(t, "twolf", n); l1 > 0.9 {
+		t.Errorf("twolf L1 fraction %.2f, want well below 1 (L2-bound probes)", l1)
+	}
+}
+
+// TestColdStreamRate: the injected miss rate must track 1/every regardless
+// of burstiness.
+func TestColdStreamRate(t *testing.T) {
+	for _, burst := range []int{1, 8, 48} {
+		cs := coldStream{every: 20, burst: burst}
+		g := &Generator{}
+		emitted := 0
+		for i := 0; i < 20000; i++ {
+			g.queue = g.queue[:0]
+			cs.maybe(g)
+			emitted += len(g.queue)
+		}
+		rate := float64(emitted) / 20000
+		if rate < 0.045 || rate > 0.055 {
+			t.Errorf("burst=%d: cold rate %.4f, want ~0.05", burst, rate)
+		}
+	}
+}
+
+// TestColdStreamAddressesAdvance: cold addresses never repeat (compulsory
+// misses by construction).
+func TestColdStreamAddressesAdvance(t *testing.T) {
+	cs := coldStream{every: 1, burst: 1}
+	g := &Generator{}
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		g.queue = g.queue[:0]
+		cs.maybe(g)
+		for _, in := range g.queue {
+			if seen[in.Addr] {
+				t.Fatalf("cold address %#x repeated", in.Addr)
+			}
+			seen[in.Addr] = true
+		}
+	}
+}
+
+// TestColdStreamDependentBranches: with depEvery set, cold loads are
+// followed by mispredicted branches on the loaded value.
+func TestColdStreamDependentBranches(t *testing.T) {
+	cs := coldStream{every: 1, burst: 1, depEvery: 2}
+	g := &Generator{}
+	branches, loads := 0, 0
+	for i := 0; i < 1000; i++ {
+		g.queue = g.queue[:0]
+		cs.maybe(g)
+		for _, in := range g.queue {
+			switch in.Op {
+			case isa.OpLoad:
+				loads++
+			case isa.OpBranch:
+				branches++
+				if !in.Mispred {
+					t.Fatal("dependent branch not mispredicted")
+				}
+				if in.Src1 != regTmp+10 {
+					t.Fatal("dependent branch not on the cold load's register")
+				}
+			}
+		}
+	}
+	if branches == 0 || branches*2 < loads-2 || branches*2 > loads+2 {
+		t.Errorf("dep branches %d for %d cold loads, want ~half", branches, loads)
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import "repro/internal/xrand"
+
+// The suites below mirror SPEC CPU 2000's composition benchmark-by-
+// benchmark: each synthetic kernel is parameterised after the published
+// behavioural character of its namesake — hot (L1-resident) and warm
+// (L2-resident) working sets, an irreducible memory-miss rate injected by a
+// coldStream (first-touch data), pointer intensity, and branch quality.
+// The aggregate statistics the paper's results depend on — load/store
+// fractions, the Figure 1 locality split, MLP, speculation quality — are
+// asserted by the package tests; IPC-level calibration against the paper's
+// baselines (OoO-64: INT 1.55, FP 1.42) lives in the cpu package tests.
+
+// IntSuite returns the 12 SPEC INT 2000-like benchmarks.
+func IntSuite() []Profile {
+	return []Profile{
+		{"gzip", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.7, 0.3},
+				&intStreamKernel{wsBytes: 64 << 10, intOps: 4, mispred: 0.035, storeFrac: 0.5,
+					cold: coldStream{every: 220, lane: 1, depEvery: 1}, r: r},
+				&localKernel{wsBytes: 512 << 10, intOps: 4, mispred: 0.04, storeFrac: 0.3,
+					hotFrac: 0.8, cold: coldStream{every: 320, lane: 2, depEvery: 1}, r: r})
+		}},
+		{"vpr", SuiteInt, func(r *xrand.RNG) kernel {
+			return &localKernel{wsBytes: 3 << 19, intOps: 4, mispred: 0.06, storeFrac: 0.35,
+				hotFrac: 0.75, cold: coldStream{every: 110, lane: 1, depEvery: 1}, r: r}
+		}},
+		{"gcc", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.55, 0.45},
+				&stackKernel{frameRegs: 5, opsPer: 9, mispred: 0.05, maxDepth: 24, r: r},
+				&hashKernel{tableBytes: 1 << 20, intOps: 4, mispred: 0.05, storeFrac: 0.35,
+					hotFrac: 0.85, cold: coldStream{every: 70, lane: 1, depEvery: 1}, r: r})
+		}},
+		{"mcf", SuiteInt, func(r *xrand.RNG) kernel {
+			return &chaseKernel{nChains: 6, wsBytes: 192 << 20, workPer: 3,
+				mispred: 0.045, homeEvery: 4, hotFrac: 0.75, r: r}
+		}},
+		{"crafty", SuiteInt, func(r *xrand.RNG) kernel {
+			return &hashKernel{tableBytes: 512 << 10, intOps: 6, mispred: 0.05, storeFrac: 0.3,
+				hotFrac: 0.85, hotBytes: 32 << 10, cold: coldStream{every: 500, lane: 1, depEvery: 1}, r: r}
+		}},
+		{"parser", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.45, 0.55},
+				&chaseKernel{nChains: 2, wsBytes: 32 << 20, workPer: 4,
+					mispred: 0.055, homeEvery: 5, hotFrac: 0.85, r: r},
+				&stackKernel{frameRegs: 5, opsPer: 8, mispred: 0.055, maxDepth: 16, r: r})
+		}},
+		{"eon", SuiteInt, func(r *xrand.RNG) kernel {
+			return &stackKernel{frameRegs: 6, opsPer: 12, mispred: 0.025, maxDepth: 20, r: r}
+		}},
+		{"perlbmk", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.5, 0.5},
+				&stackKernel{frameRegs: 5, opsPer: 10, mispred: 0.045, maxDepth: 28, r: r},
+				&hashKernel{tableBytes: 1 << 20, intOps: 4, mispred: 0.045, storeFrac: 0.3,
+					hotFrac: 0.85, cold: coldStream{every: 160, lane: 1, depEvery: 1}, r: r})
+		}},
+		{"gap", SuiteInt, func(r *xrand.RNG) kernel {
+			return &hashKernel{tableBytes: 1 << 20, intOps: 5, mispred: 0.04, storeFrac: 0.3,
+				hotFrac: 0.70, cold: coldStream{every: 40, lane: 1, depEvery: 1}, r: r}
+		}},
+		{"vortex", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.6, 0.4},
+				&hashKernel{tableBytes: 1 << 20, intOps: 4, mispred: 0.03, storeFrac: 0.35,
+					hotFrac: 0.85, cold: coldStream{every: 80, lane: 1, depEvery: 1}, r: r},
+				&stackKernel{frameRegs: 6, opsPer: 9, mispred: 0.03, maxDepth: 16, r: r})
+		}},
+		{"bzip2", SuiteInt, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.65, 0.35},
+				&intStreamKernel{wsBytes: 256 << 10, intOps: 5, mispred: 0.04, storeFrac: 0.4,
+					cold: coldStream{every: 90, lane: 1, depEvery: 1}, r: r},
+				&localKernel{wsBytes: 512 << 10, intOps: 5, mispred: 0.045, storeFrac: 0.3,
+					hotFrac: 0.8, cold: coldStream{every: 180, lane: 2, depEvery: 1}, r: r})
+		}},
+		{"twolf", SuiteInt, func(r *xrand.RNG) kernel {
+			return &localKernel{wsBytes: 2 << 20, intOps: 5, mispred: 0.06, storeFrac: 0.35,
+				hotFrac: 0.78, cold: coldStream{every: 110, lane: 1, depEvery: 1}, r: r}
+		}},
+	}
+}
+
+// FPSuite returns the 14 SPEC FP 2000-like benchmarks.
+func FPSuite() []Profile {
+	return []Profile{
+		{"wupwise", SuiteFP, func(r *xrand.RNG) kernel {
+			return &blockedKernel{wsBytes: 768 << 10, fpOps: 7, intOps: 2, mispred: 0.006,
+				cold: coldStream{every: 320, lane: 1}, r: r}
+		}},
+		{"swim", SuiteFP, func(r *xrand.RNG) kernel {
+			return &streamKernel{nStreams: 4, wsBytes: 256 << 20, elem: 8, fpOps: 8,
+				mispred: 0.003, reuse: -1, cold: coldStream{every: 44, burst: 1, lane: 1}}
+		}},
+		{"mgrid", SuiteFP, func(r *xrand.RNG) kernel {
+			return &stencilKernel{rowBytes: 16 << 10, wsBytes: 64 << 20, fpOps: 7,
+				mispred: 0.002, reuse: -1, windowBytes: 256 << 10,
+				cold: coldStream{every: 52, burst: 1, lane: 1}}
+		}},
+		{"applu", SuiteFP, func(r *xrand.RNG) kernel {
+			return &stencilKernel{rowBytes: 32 << 10, wsBytes: 96 << 20, fpOps: 8,
+				mispred: 0.003, reuse: -1, windowBytes: 256 << 10,
+				cold: coldStream{every: 44, burst: 1, lane: 1}}
+		}},
+		{"mesa", SuiteFP, func(r *xrand.RNG) kernel {
+			return &blockedKernel{wsBytes: 640 << 10, fpOps: 5, intOps: 3, mispred: 0.012,
+				cold: coldStream{every: 240, lane: 1}, r: r}
+		}},
+		{"galgel", SuiteFP, func(r *xrand.RNG) kernel {
+			return &blockedKernel{wsBytes: 512 << 10, fpOps: 9, intOps: 1, mispred: 0.004,
+				cold: coldStream{every: 1200, lane: 1}, r: r}
+		}},
+		{"art", SuiteFP, func(r *xrand.RNG) kernel {
+			return &streamKernel{nStreams: 6, wsBytes: 128 << 20, elem: 8, fpOps: 4,
+				mispred: 0.004, reuse: -1, cold: coldStream{every: 18, burst: 1, lane: 1}}
+		}},
+		{"equake", SuiteFP, func(r *xrand.RNG) kernel {
+			// smvp(): multilevel pointer dereferencing for both loads and
+			// stores — the restricted-SAC outlier of Section 5.5.
+			return &chaseKernel{nChains: 4, wsBytes: 96 << 20, workPer: 5, mispred: 0.01,
+				homeEvery: 6, fp: true, fpStoreAddr: true, hotFrac: 0.75, r: r}
+		}},
+		{"facerec", SuiteFP, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.6, 0.4},
+				&streamKernel{nStreams: 2, wsBytes: 32 << 20, elem: 8, fpOps: 7,
+					mispred: 0.004, reuse: -1, cold: coldStream{every: 80, burst: 1, lane: 1}},
+				&blockedKernel{wsBytes: 768 << 10, fpOps: 6, intOps: 2, mispred: 0.006,
+					cold: coldStream{every: 400, lane: 2}, r: r})
+		}},
+		{"ammp", SuiteFP, func(r *xrand.RNG) kernel {
+			return &chaseKernel{nChains: 3, wsBytes: 48 << 20, workPer: 6, mispred: 0.012,
+				homeEvery: 8, fp: true, hotFrac: 0.80, r: r}
+		}},
+		{"lucas", SuiteFP, func(r *xrand.RNG) kernel {
+			return &streamKernel{nStreams: 2, wsBytes: 128 << 20, elem: 8, fpOps: 10,
+				mispred: 0.002, reuse: -1, cold: coldStream{every: 60, burst: 1, lane: 1}}
+		}},
+		{"fma3d", SuiteFP, func(r *xrand.RNG) kernel {
+			return newMix(r, []float64{0.7, 0.3},
+				&blockedKernel{wsBytes: 1 << 20, fpOps: 6, intOps: 3, mispred: 0.008,
+					cold: coldStream{every: 180, lane: 1}, r: r},
+				&stackKernel{frameRegs: 4, opsPer: 8, mispred: 0.008, maxDepth: 12, r: r})
+		}},
+		{"sixtrack", SuiteFP, func(r *xrand.RNG) kernel {
+			return &blockedKernel{wsBytes: 256 << 10, fpOps: 11, intOps: 2, mispred: 0.003, r: r}
+		}},
+		{"apsi", SuiteFP, func(r *xrand.RNG) kernel {
+			return &stencilKernel{rowBytes: 8 << 10, wsBytes: 48 << 20, fpOps: 6,
+				mispred: 0.004, reuse: -1, windowBytes: 256 << 10,
+				cold: coldStream{every: 72, burst: 1, lane: 1}}
+		}},
+	}
+}

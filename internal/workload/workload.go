@@ -1,0 +1,227 @@
+// Package workload generates the synthetic SPEC CPU 2000-like instruction
+// streams that substitute for the paper's Alpha SimPoint traces (see
+// DESIGN.md, "Substitutions"). Each benchmark is a deterministic kernel
+// parameterised to reproduce the statistical properties that drive the
+// paper's results: load/store fractions, the decode→address-calculation
+// locality split of Figure 1, L2 miss rates and memory-level parallelism,
+// store→load forwarding distances, and control-speculation quality.
+//
+// The committed-path stream of a generator is a pure function of its seed:
+// wrong-path synthesis draws from an independent forked RNG so speculation
+// depth cannot perturb the committed path.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// Suite labels a benchmark as part of the integer or floating-point suite.
+type Suite uint8
+
+const (
+	// SuiteInt is the SPEC INT 2000-like suite.
+	SuiteInt Suite = iota
+	// SuiteFP is the SPEC FP 2000-like suite.
+	SuiteFP
+)
+
+// String implements fmt.Stringer.
+func (s Suite) String() string {
+	if s == SuiteInt {
+		return "SPEC INT"
+	}
+	return "SPEC FP"
+}
+
+// kernel is a synthetic program: each Emit call appends at least one
+// committed-path instruction to the generator's queue.
+type kernel interface {
+	emit(g *Generator)
+}
+
+// Generator produces the dynamic instruction stream of one benchmark.
+type Generator struct {
+	name  string
+	suite Suite
+	k     kernel
+	rng   *xrand.RNG // committed-path randomness
+	wpRng *xrand.RNG // wrong-path randomness (independent stream)
+	queue []isa.Inst
+	head  int
+	seq   uint64
+	wpSeq uint64
+	// recentAddrs remembers the last committed-path memory addresses;
+	// wrong-path fetch runs through the program's own neighbourhood, so
+	// speculative accesses touch nearby lines (mild pollution, occasional
+	// prefetch) rather than foreign memory.
+	recentAddrs [16]uint64
+	recentPos   int
+	recentSeen  bool
+}
+
+// Name returns the benchmark name.
+func (g *Generator) Name() string { return g.name }
+
+// Suite returns the benchmark's suite.
+func (g *Generator) Suite() Suite { return g.suite }
+
+// Next fills out with the next committed-path instruction.
+func (g *Generator) Next(out *isa.Inst) {
+	for g.head >= len(g.queue) {
+		g.queue = g.queue[:0]
+		g.head = 0
+		g.k.emit(g)
+	}
+	*out = g.queue[g.head]
+	g.head++
+	out.Seq = g.seq
+	g.seq++
+	if out.IsMem() {
+		g.recentAddrs[g.recentPos] = out.Addr
+		g.recentPos = (g.recentPos + 1) % len(g.recentAddrs)
+		g.recentSeen = true
+	}
+}
+
+// wpAddr synthesises a wrong-path address: a recently touched address
+// perturbed by a few cache lines.
+func (g *Generator) wpAddr() uint64 {
+	if !g.recentSeen {
+		return align(g.wpRng.Uint64n(1<<20), 8)
+	}
+	base := g.recentAddrs[g.wpRng.Intn(len(g.recentAddrs))]
+	delta := int64(g.wpRng.Intn(17)-8) * 32 // within +-8 lines
+	a := int64(base) + delta
+	if a < 0 {
+		a = int64(base)
+	}
+	return align(uint64(a), 8)
+}
+
+// WrongPath fills out with a plausible wrong-path instruction: the mix a
+// fetch unit would stream in past a mispredicted branch — ALU ops plus loads
+// and stores to addresses near the benchmark's recent working set. These
+// consume pipeline and LSQ resources and are squashed at branch resolution.
+func (g *Generator) WrongPath(out *isa.Inst) {
+	*out = isa.Inst{WrongPath: true, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	r := g.wpRng.Float64()
+	switch {
+	case r < 0.22:
+		out.Op = isa.OpLoad
+		out.Addr = g.wpAddr()
+		out.Size = 8
+		out.Src1 = 0
+		out.Dst = int16(1 + g.wpRng.Intn(isa.NumIntRegs-1))
+	case r < 0.30:
+		out.Op = isa.OpStore
+		out.Addr = g.wpAddr()
+		out.Size = 8
+		out.Src1, out.Src2 = 0, 0
+	case r < 0.42:
+		out.Op = isa.OpBranch
+		out.Src1 = 0
+	default:
+		out.Op = isa.OpIntAlu
+		out.Src1 = 0
+		out.Dst = int16(1 + g.wpRng.Intn(isa.NumIntRegs-1))
+	}
+	out.Seq = 1<<63 | g.wpSeq // disjoint from committed-path sequence space
+	g.wpSeq++
+}
+
+// --- emission helpers used by kernels ---
+
+func (g *Generator) push(in isa.Inst) { g.queue = append(g.queue, in) }
+
+// ialu emits dst <- op(src1, src2).
+func (g *Generator) ialu(dst, src1, src2 int16) {
+	g.push(isa.Inst{Op: isa.OpIntAlu, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// imul emits a multi-cycle integer op.
+func (g *Generator) imul(dst, src1, src2 int16) {
+	g.push(isa.Inst{Op: isa.OpIntMul, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// falu and fmul emit floating-point ops.
+func (g *Generator) falu(dst, src1, src2 int16) {
+	g.push(isa.Inst{Op: isa.OpFpAlu, Dst: dst, Src1: src1, Src2: src2})
+}
+
+func (g *Generator) fmul(dst, src1, src2 int16) {
+	g.push(isa.Inst{Op: isa.OpFpMul, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// load emits dst <- mem[addr], with addrSrc the address-producing register.
+func (g *Generator) load(dst, addrSrc int16, addr uint64, size uint8) {
+	g.push(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: addrSrc, Src2: isa.NoReg, Addr: addr, Size: size})
+}
+
+// store emits mem[addr] <- dataSrc, with addrSrc the address producer.
+func (g *Generator) store(addrSrc, dataSrc int16, addr uint64, size uint8) {
+	g.push(isa.Inst{Op: isa.OpStore, Dst: isa.NoReg, Src1: addrSrc, Src2: dataSrc, Addr: addr, Size: size})
+}
+
+// branch emits a conditional branch on condSrc; mispredicted with
+// probability p.
+func (g *Generator) branch(condSrc int16, p float64) {
+	g.push(isa.Inst{Op: isa.OpBranch, Dst: isa.NoReg, Src1: condSrc, Src2: isa.NoReg,
+		Taken: g.rng.Bool(0.5), Mispred: g.rng.Bool(p)})
+}
+
+// align rounds addr down to a multiple of size.
+func align(addr uint64, size uint64) uint64 { return addr &^ (size - 1) }
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name is the SPEC-like benchmark name.
+	Name string
+	// Suite is INT or FP.
+	Suite Suite
+	// build constructs the kernel from a seed.
+	build func(r *xrand.RNG) kernel
+}
+
+// New instantiates the benchmark's generator with the given seed.
+func (p Profile) New(seed uint64) *Generator {
+	r := xrand.New(seed ^ hashName(p.Name))
+	return &Generator{
+		name:  p.Name,
+		suite: p.Suite,
+		k:     p.build(r),
+		rng:   r,
+		wpRng: r.Fork(),
+	}
+}
+
+// hashName mixes the benchmark name into the seed so different benchmarks
+// with the same seed diverge.
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range append(IntSuite(), FPSuite()...) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// SuiteOf returns all profiles of the given suite.
+func SuiteOf(s Suite) []Profile {
+	if s == SuiteInt {
+		return IntSuite()
+	}
+	return FPSuite()
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func allProfiles() []Profile { return append(IntSuite(), FPSuite()...) }
+
+func TestSuiteSizes(t *testing.T) {
+	// SPEC CPU 2000: 12 integer, 14 floating-point benchmarks.
+	if n := len(IntSuite()); n != 12 {
+		t.Errorf("INT suite has %d benchmarks, want 12", n)
+	}
+	if n := len(FPSuite()); n != 14 {
+		t.Errorf("FP suite has %d benchmarks, want 14", n)
+	}
+}
+
+func TestSuiteLabels(t *testing.T) {
+	for _, p := range IntSuite() {
+		if p.Suite != SuiteInt {
+			t.Errorf("%s mislabelled as %v", p.Name, p.Suite)
+		}
+	}
+	for _, p := range FPSuite() {
+		if p.Suite != SuiteFP {
+			t.Errorf("%s mislabelled as %v", p.Name, p.Suite)
+		}
+	}
+	if SuiteInt.String() != "SPEC INT" || SuiteFP.String() != "SPEC FP" {
+		t.Error("suite strings wrong")
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range allProfiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("equake")
+	if err != nil || p.Name != "equake" || p.Suite != SuiteFP {
+		t.Errorf("ByName(equake) = %+v, %v", p, err)
+	}
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestSuiteOf(t *testing.T) {
+	if len(SuiteOf(SuiteInt)) != 12 || len(SuiteOf(SuiteFP)) != 14 {
+		t.Error("SuiteOf sizes wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, p := range allProfiles() {
+		a, b := p.New(1), p.New(1)
+		var ia, ib isa.Inst
+		for i := 0; i < 2000; i++ {
+			a.Next(&ia)
+			b.Next(&ib)
+			if ia != ib {
+				t.Fatalf("%s diverged at inst %d: %+v vs %+v", p.Name, i, ia, ib)
+			}
+		}
+	}
+}
+
+// Drawing wrong-path instructions must not perturb the committed path:
+// speculation depth depends on the microarchitecture under test, and two
+// configs must see the same program.
+func TestWrongPathIndependence(t *testing.T) {
+	for _, p := range allProfiles() {
+		a, b := p.New(7), p.New(7)
+		var ia, ib, wp isa.Inst
+		for i := 0; i < 1000; i++ {
+			a.Next(&ia)
+			if i%3 == 0 {
+				b.WrongPath(&wp)
+				if !wp.WrongPath {
+					t.Fatalf("%s: WrongPath emitted committed-path inst", p.Name)
+				}
+			}
+			b.Next(&ib)
+			if ia != ib {
+				t.Fatalf("%s: wrong-path draw changed committed path at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	p := IntSuite()[0]
+	g := p.New(3)
+	var in isa.Inst
+	for i := uint64(0); i < 500; i++ {
+		g.Next(&in)
+		if in.Seq != i {
+			t.Fatalf("Seq = %d at position %d", in.Seq, i)
+		}
+	}
+}
+
+func TestInstructionWellFormed(t *testing.T) {
+	for _, p := range allProfiles() {
+		g := p.New(11)
+		var in isa.Inst
+		for i := 0; i < 5000; i++ {
+			g.Next(&in)
+			if in.WrongPath {
+				t.Fatalf("%s: committed path emitted WrongPath inst", p.Name)
+			}
+			switch in.Op {
+			case isa.OpLoad:
+				if in.Dst == isa.NoReg || in.Src1 == isa.NoReg {
+					t.Fatalf("%s: load without dst/addr-src: %+v", p.Name, in)
+				}
+				if in.Size != 4 && in.Size != 8 {
+					t.Fatalf("%s: load size %d", p.Name, in.Size)
+				}
+				if in.Addr%uint64(in.Size) != 0 {
+					t.Fatalf("%s: unaligned load at %#x size %d", p.Name, in.Addr, in.Size)
+				}
+			case isa.OpStore:
+				if in.Src1 == isa.NoReg || in.Src2 == isa.NoReg {
+					t.Fatalf("%s: store without addr/data src: %+v", p.Name, in)
+				}
+				if in.Addr%uint64(in.Size) != 0 {
+					t.Fatalf("%s: unaligned store at %#x size %d", p.Name, in.Addr, in.Size)
+				}
+			case isa.OpBranch:
+				if in.Src1 == isa.NoReg {
+					t.Fatalf("%s: branch without condition src", p.Name)
+				}
+			}
+			if in.Dst >= isa.NumRegs || in.Src1 >= isa.NumRegs || in.Src2 >= isa.NumRegs {
+				t.Fatalf("%s: register out of range: %+v", p.Name, in)
+			}
+		}
+	}
+}
+
+func TestWrongPathWellFormed(t *testing.T) {
+	g := IntSuite()[3].New(5) // mcf
+	var in isa.Inst
+	loads := 0
+	for i := 0; i < 2000; i++ {
+		g.WrongPath(&in)
+		if !in.WrongPath {
+			t.Fatal("WrongPath inst not flagged")
+		}
+		if in.IsLoad() {
+			loads++
+			if in.Addr%8 != 0 {
+				t.Fatalf("unaligned wrong-path load %#x", in.Addr)
+			}
+		}
+	}
+	if loads < 200 || loads > 700 {
+		t.Errorf("wrong-path load count = %d/2000, want ~22%%", loads)
+	}
+}
+
+// Mix fractions per suite. These are the statistical properties substituting
+// for SPEC (see DESIGN.md): FP ~25% loads / ~8.5% stores, INT ~26% loads /
+// ~11% stores, branch mispredict rates far higher for INT.
+func TestSuiteMixFractions(t *testing.T) {
+	type mix struct{ loads, stores, branches, mispred float64 }
+	measure := func(ps []Profile) mix {
+		var m mix
+		var total float64
+		var in isa.Inst
+		for _, p := range ps {
+			g := p.New(42)
+			const n = 30000
+			for i := 0; i < n; i++ {
+				g.Next(&in)
+				total++
+				switch in.Op {
+				case isa.OpLoad:
+					m.loads++
+				case isa.OpStore:
+					m.stores++
+				case isa.OpBranch:
+					m.branches++
+					if in.Mispred {
+						m.mispred++
+					}
+				}
+			}
+		}
+		m.mispred /= m.branches
+		m.loads /= total
+		m.stores /= total
+		m.branches /= total
+		return m
+	}
+	fp := measure(FPSuite())
+	in := measure(IntSuite())
+
+	if fp.loads < 0.18 || fp.loads > 0.33 {
+		t.Errorf("FP load fraction = %.3f, want ~0.25", fp.loads)
+	}
+	if fp.stores < 0.05 || fp.stores > 0.13 {
+		t.Errorf("FP store fraction = %.3f, want ~0.085", fp.stores)
+	}
+	if in.loads < 0.18 || in.loads > 0.34 {
+		t.Errorf("INT load fraction = %.3f, want ~0.26", in.loads)
+	}
+	if in.stores < 0.07 || in.stores > 0.16 {
+		t.Errorf("INT store fraction = %.3f, want ~0.11", in.stores)
+	}
+	if in.mispred < 3*fp.mispred {
+		t.Errorf("INT mispredict rate %.4f should far exceed FP's %.4f", in.mispred, fp.mispred)
+	}
+	if in.branches < 0.08 {
+		t.Errorf("INT branch fraction = %.3f, want >= 0.08", in.branches)
+	}
+}
+
+// equake must have low-locality *store address* calculations (stores whose
+// address source is a chase register) — the RSAC outlier of Section 5.5.
+func TestEquakeHasPointerDerivedStores(t *testing.T) {
+	p, _ := ByName("equake")
+	g := p.New(1)
+	var in isa.Inst
+	chaseAddrStores := 0
+	for i := 0; i < 20000; i++ {
+		g.Next(&in)
+		if in.IsStore() && in.Src1 >= regChase && in.Src1 < regChase+9 {
+			chaseAddrStores++
+		}
+	}
+	if chaseAddrStores == 0 {
+		t.Error("equake emitted no pointer-derived store addresses")
+	}
+	// And swim must not.
+	p2, _ := ByName("swim")
+	g2 := p2.New(1)
+	count := 0
+	for i := 0; i < 20000; i++ {
+		g2.Next(&in)
+		if in.IsStore() && in.Src1 >= regChase && in.Src1 < regChase+9 {
+			count++
+		}
+	}
+	if count != 0 {
+		t.Error("swim emitted pointer-derived store addresses")
+	}
+}
+
+// The chase kernels must emit the LL-store → HL-load home-slot forwarding
+// pattern that makes the Store Queue Mirror matter.
+func TestChaseHomeForwardingPattern(t *testing.T) {
+	p, _ := ByName("mcf")
+	g := p.New(9)
+	var in isa.Inst
+	storeAddrs := map[uint64]int{}
+	forwardings := 0
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		if in.IsStore() && in.Src1 == regBase {
+			storeAddrs[in.Addr] = i
+		}
+		if in.IsLoad() && in.Src1 == regBase {
+			if at, ok := storeAddrs[in.Addr]; ok && i-at < 120 {
+				forwardings++
+			}
+		}
+	}
+	if forwardings < 100 {
+		t.Errorf("mcf home forwardings in 50k insts = %d, want >= 100", forwardings)
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched mix accepted")
+		}
+	}()
+	newMix(nil, []float64{0.5}, nil, nil)
+}

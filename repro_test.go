@@ -1,0 +1,38 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestSimulate(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxInsts = 20_000
+	cfg.WarmupInsts = 100_000
+	r, err := Simulate(cfg, "swim", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.Committed != 20_000 {
+		t.Errorf("IPC %v committed %d", r.IPC, r.Committed)
+	}
+	if _, err := Simulate(cfg, "not-a-benchmark", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad := cfg
+	bad.FetchWidth = 0
+	if _, err := Simulate(bad, "swim", 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 26 {
+		t.Fatalf("Benchmarks() returned %d names, want 26", len(names))
+	}
+	if names[0] != "gzip" {
+		t.Errorf("first benchmark %q, want gzip (INT suite first)", names[0])
+	}
+}
