@@ -1,0 +1,133 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Every registered field must round-trip its own Get output through Set
+// without changing the config, and the registry must be sorted and free of
+// duplicates.
+func TestFieldRoundTrip(t *testing.T) {
+	fields := Fields()
+	seen := map[string]bool{}
+	prev := ""
+	for _, f := range fields {
+		if seen[f.Name] {
+			t.Errorf("duplicate field %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Name < prev {
+			t.Errorf("Fields not sorted: %q after %q", f.Name, prev)
+		}
+		prev = f.Name
+		c := Default()
+		v := f.Get(&c)
+		if err := f.Set(&c, v); err != nil {
+			t.Errorf("field %s: Set(Get()) = %v", f.Name, err)
+		}
+		if got := f.Get(&c); got != v {
+			t.Errorf("field %s: round trip %q -> %q", f.Name, v, got)
+		}
+	}
+	if len(fields) < 30 {
+		t.Errorf("registry suspiciously small: %d fields", len(fields))
+	}
+}
+
+func TestSetField(t *testing.T) {
+	c := Default()
+	if err := SetField(&c, "l1.size", "64K"); err != nil {
+		t.Fatal(err)
+	}
+	if c.L1.SizeBytes != 64<<10 {
+		t.Errorf("l1.size=64K -> %d", c.L1.SizeBytes)
+	}
+	if err := SetField(&c, "ert", "line"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ERT != ERTLine {
+		t.Errorf("ert=line -> %v", c.ERT)
+	}
+	if err := SetField(&c, "sqm", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if c.SQM {
+		t.Error("sqm=false ignored")
+	}
+	if err := SetField(&c, "insts", "12345"); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxInsts != 12345 {
+		t.Errorf("insts=12345 -> %d", c.MaxInsts)
+	}
+	if err := SetField(&c, "no.such.field", "1"); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := SetField(&c, "rob.size", "many"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"4096": 4096, "16K": 16 << 10, "32k": 32 << 10, "2M": 2 << 20,
+		"1G": 1 << 30, "64KB": 64 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "K", "12Q", "1.5K"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+// Enums must survive a JSON round trip in their text form, including the
+// "rsac+rlac" display spelling of DisambRSACLAC.
+func TestEnumTextRoundTrip(t *testing.T) {
+	c := Default()
+	c.Model = ModelOoO
+	c.LSQ = LSQSVW
+	c.ERT = ERTLine
+	c.Disamb = DisambRSACLAC
+	c.SVW = SVWCheckStores
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Errorf("JSON round trip changed the config:\n got %+v\nwant %+v", back, c)
+	}
+}
+
+func TestHash(t *testing.T) {
+	a, b := Default(), Default()
+	if a.Hash() != b.Hash() {
+		t.Error("equal configs hash differently")
+	}
+	b.L1.SizeBytes = 64 << 10
+	if a.Hash() == b.Hash() {
+		t.Error("different configs hash identically")
+	}
+	c := Default()
+	c.MaxInsts = 999 // the instruction budget is part of the identity
+	if a.Hash() == c.Hash() {
+		t.Error("instruction budget not part of the hash")
+	}
+	back, err := FromCanonical(a.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Error("FromCanonical(Canonical()) changed the config")
+	}
+}

@@ -1,0 +1,41 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the canonical serialisation of the configuration: JSON
+// with fields in declaration order and enums in their text form. Two configs
+// have equal Canonical output iff every simulated parameter is equal, so the
+// encoding doubles as the result-cache identity (internal/sweep) and as the
+// config record embedded in sweep artifacts.
+func (c *Config) Canonical() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a flat struct of ints, bools and text-marshalling
+		// enums; encoding can only fail if the struct gains an
+		// unserialisable field, which must not happen silently.
+		panic(fmt.Sprintf("config: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// Hash returns a stable short digest of the canonical encoding, usable as a
+// filename or map key. Identical configurations hash identically across
+// processes and runs.
+func (c *Config) Hash() string {
+	sum := sha256.Sum256(c.Canonical())
+	return hex.EncodeToString(sum[:8])
+}
+
+// FromCanonical parses a configuration previously produced by Canonical.
+func FromCanonical(b []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(b, &c); err != nil {
+		return Config{}, fmt.Errorf("config: bad canonical encoding: %w", err)
+	}
+	return c, nil
+}

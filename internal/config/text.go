@@ -1,0 +1,174 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file gives every enum a text round-trip (used by JSON serialisation,
+// the canonical hash encoding, and the sweep CLI's axis parser) and provides
+// the value parsers shared by cmd/elsqsim-style flag handling and the
+// internal/sweep field registry.
+
+// ParseModel parses a processor-model name ("fmc", "ooo", "OoO-64").
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(s) {
+	case "fmc":
+		return ModelFMC, nil
+	case "ooo", "ooo-64", "ooo64":
+		return ModelOoO, nil
+	}
+	return 0, fmt.Errorf("config: unknown model %q (want fmc | ooo)", s)
+}
+
+// ParseLSQScheme parses a queue-organisation name.
+func ParseLSQScheme(s string) (LSQScheme, error) {
+	switch strings.ToLower(s) {
+	case "central":
+		return LSQCentral, nil
+	case "conventional":
+		return LSQConventional, nil
+	case "elsq":
+		return LSQELSQ, nil
+	case "svw":
+		return LSQSVW, nil
+	}
+	return 0, fmt.Errorf("config: unknown LSQ scheme %q (want central | conventional | elsq | svw)", s)
+}
+
+// ParseERTKind parses an ERT filter kind.
+func ParseERTKind(s string) (ERTKind, error) {
+	switch strings.ToLower(s) {
+	case "line":
+		return ERTLine, nil
+	case "hash":
+		return ERTHash, nil
+	}
+	return 0, fmt.Errorf("config: unknown ERT kind %q (want line | hash)", s)
+}
+
+// ParseDisambiguation parses a restricted-disambiguation model name.
+func ParseDisambiguation(s string) (Disambiguation, error) {
+	switch strings.ToLower(s) {
+	case "full":
+		return DisambFull, nil
+	case "rsac":
+		return DisambRSAC, nil
+	case "rlac":
+		return DisambRLAC, nil
+	case "rsaclac", "rsac+rlac":
+		return DisambRSACLAC, nil
+	}
+	return 0, fmt.Errorf("config: unknown disambiguation %q (want full | rsac | rlac | rsaclac)", s)
+}
+
+// ParseSVWVariant parses an SVW filtering-variant name.
+func ParseSVWVariant(s string) (SVWVariant, error) {
+	switch strings.ToLower(s) {
+	case "blind":
+		return SVWBlind, nil
+	case "checkstores":
+		return SVWCheckStores, nil
+	}
+	return 0, fmt.Errorf("config: unknown SVW variant %q (want blind | checkstores)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m Model) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Model) UnmarshalText(b []byte) error {
+	v, err := ParseModel(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s LSQScheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *LSQScheme) UnmarshalText(b []byte) error {
+	v, err := ParseLSQScheme(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (k ERTKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *ERTKind) UnmarshalText(b []byte) error {
+	v, err := ParseERTKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (d Disambiguation) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (d *Disambiguation) UnmarshalText(b []byte) error {
+	v, err := ParseDisambiguation(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (v SVWVariant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (v *SVWVariant) UnmarshalText(b []byte) error {
+	x, err := ParseSVWVariant(string(b))
+	if err != nil {
+		return err
+	}
+	*v = x
+	return nil
+}
+
+// ParseSize parses a byte size with an optional K/M/G suffix ("32K", "2M",
+// "4096"). The suffixes are binary (K = 1024).
+func ParseSize(s string) (int, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if len(t) > 1 && strings.HasSuffix(t, "B") {
+		t = strings.TrimSuffix(t, "B")
+	}
+	mult := 1
+	switch {
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "G")
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "M")
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "K")
+	}
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("config: bad size %q: %v", s, err)
+	}
+	return n * mult, nil
+}
+
+// parseBool parses a flexible boolean ("true", "1", "on", "yes", ...).
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "true", "1", "on", "yes":
+		return true, nil
+	case "false", "0", "off", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("config: bad boolean %q", s)
+}

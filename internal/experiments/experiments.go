@@ -7,13 +7,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -36,13 +35,6 @@ func DefaultOptions() Options {
 	return Options{MaxInsts: 100_000, WarmupInsts: 2_500_000, Seed: 1}
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // apply stamps the options onto a config.
 func (o Options) apply(cfg config.Config) config.Config {
 	cfg.MaxInsts = o.MaxInsts
@@ -57,35 +49,30 @@ type job struct {
 	out  **cpu.Result
 }
 
-// runAll executes the jobs on a bounded worker pool. Results are written to
-// each job's out slot, so callers keep a deterministic layout regardless of
-// completion order.
+// resultCache is shared by every experiment in the process, so experiments
+// that revisit a configuration set (table2 and energy share all six rows)
+// reuse the completed simulations instead of re-running them. Keys include
+// the full config (with instruction budget), benchmark and seed, so runs at
+// different Options never alias.
+var resultCache = sweep.NewMemCache()
+
+// runAll executes the jobs on the sweep engine's bounded worker pool.
+// Results are written to each job's out slot, so callers keep a
+// deterministic layout regardless of completion order.
 func runAll(jobs []job, opt Options) error {
-	sem := make(chan struct{}, opt.workers())
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := range jobs {
-		j := &jobs[i]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sim, err := cpu.New(j.cfg, j.prof.New(opt.Seed))
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.cfg.Name(), j.prof.Name, err)
-				}
-				mu.Unlock()
-				return
-			}
-			*j.out = sim.Run()
-		}()
+	sjobs := make([]sweep.Job, len(jobs))
+	for i, j := range jobs {
+		sjobs[i] = sweep.Job{Config: j.cfg, Bench: j.prof, Seed: opt.Seed}
 	}
-	wg.Wait()
-	return firstErr
+	runner := sweep.Runner{Workers: opt.Workers, Cache: resultCache}
+	outcomes, _, err := runner.Run(sjobs)
+	if err != nil {
+		return err
+	}
+	for i := range jobs {
+		*jobs[i].out = outcomes[i].Result
+	}
+	return nil
 }
 
 // suiteRun holds one configuration's results over a whole suite.

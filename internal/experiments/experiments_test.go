@@ -87,15 +87,30 @@ func TestRunSuitesPropagatesErrors(t *testing.T) {
 	}
 }
 
-func TestOptionsWorkers(t *testing.T) {
-	if (Options{Workers: 3}).workers() != 3 {
-		t.Error("explicit workers ignored")
-	}
-	if (Options{}).workers() <= 0 {
-		t.Error("default workers not positive")
-	}
+func TestDefaultOptions(t *testing.T) {
 	def := DefaultOptions()
 	if def.MaxInsts == 0 || def.WarmupInsts == 0 {
 		t.Error("DefaultOptions degenerate")
+	}
+}
+
+// Experiments share the process-level result cache, so re-running an
+// experiment must reuse its completed simulations.
+func TestExperimentsShareResultCache(t *testing.T) {
+	opt := tinyOpts()
+	opt.MaxInsts = 4_321 // budget no other test uses, so the keys are fresh
+	before := resultCache.Len()
+	if _, err := runSuites([]config.Config{config.OoO64()}, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := resultCache.Len()
+	if after <= before {
+		t.Fatalf("cache did not grow: %d -> %d", before, after)
+	}
+	if _, err := runSuites([]config.Config{config.OoO64()}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if resultCache.Len() != after {
+		t.Fatalf("identical re-run grew the cache: %d -> %d", after, resultCache.Len())
 	}
 }

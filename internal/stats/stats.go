@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -156,6 +157,31 @@ func (c *Counters) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Snapshot returns a copy of every counter as a plain map.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler, so results carrying a counter bag
+// serialise into sweep artifacts and the on-disk result cache.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.m)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Counters) UnmarshalJSON(b []byte) error {
+	m := make(map[string]uint64)
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	c.m = m
+	return nil
 }
 
 // String renders the counters as "name=value" lines, sorted by name.

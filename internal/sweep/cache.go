@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// Cache stores completed simulation results by job key, so re-runs and
+// overlapping sweeps skip simulations that already happened. Implementations
+// must be safe for concurrent use.
+type Cache interface {
+	// Get returns the cached result for key, if present.
+	Get(key string) (*cpu.Result, bool)
+	// Put stores the result for key. Errors are the cache's concern
+	// (caching is an optimisation); implementations must not fail the run.
+	Put(key string, r *cpu.Result)
+}
+
+// MemCache is an in-process Cache. The zero value is not usable; call
+// NewMemCache.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]*cpu.Result
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string]*cpu.Result)}
+}
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (*cpu.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, r *cpu.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+// Len returns the number of cached results.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DiskCache persists results as one JSON file per job key, so sweeps cache
+// across processes (cmd/elsqsweep -cachedir). Corrupt or unreadable entries
+// are treated as misses.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) a disk cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get implements Cache.
+func (c *DiskCache) Get(key string) (*cpu.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var r cpu.Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, false
+	}
+	// Reject entries that parse but cannot be real simulation results
+	// (stale schema, foreign files in the cache dir): a miss re-simulates,
+	// a bad hit poisons artifacts.
+	if r.Counters == nil || r.LoadDist == nil || r.StoreDist == nil ||
+		r.Committed == 0 || r.Bench == "" {
+		return nil, false
+	}
+	return &r, true
+}
+
+// Put implements Cache. The write is atomic (temp file + rename) so a
+// concurrent reader never observes a partial entry.
+func (c *DiskCache) Put(key string, r *cpu.Result) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

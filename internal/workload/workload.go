@@ -13,6 +13,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/xrand"
@@ -34,6 +35,30 @@ func (s Suite) String() string {
 		return "SPEC INT"
 	}
 	return "SPEC FP"
+}
+
+// ParseSuite parses a suite name ("int", "fp", "SPEC INT", "spec-fp", ...).
+func ParseSuite(name string) (Suite, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "int", "spec int", "spec-int", "specint":
+		return SuiteInt, nil
+	case "fp", "spec fp", "spec-fp", "specfp":
+		return SuiteFP, nil
+	}
+	return 0, fmt.Errorf("workload: unknown suite %q (want int | fp)", name)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Suite) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Suite) UnmarshalText(b []byte) error {
+	v, err := ParseSuite(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // kernel is a synthetic program: each Emit call appends at least one
