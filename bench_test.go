@@ -14,11 +14,13 @@ import (
 	"repro/internal/workload"
 )
 
-// suiteIPC measures the mean IPC of a suite under cfg.
+// suiteIPC measures the mean IPC of a suite under cfg at the standard
+// smoke budget (see the budget-semantics note in internal/config: the
+// warm-up phase is functional-only, so the 30k measured instructions run
+// entirely in cache-warm steady state).
 func suiteIPC(b *testing.B, cfg config.Config, suite workload.Suite) float64 {
 	b.Helper()
-	cfg.MaxInsts = 30_000
-	cfg.WarmupInsts = 400_000
+	cfg = cfg.SmokeBudget()
 	var sum float64
 	profs := workload.SuiteOf(suite)
 	for _, p := range profs {
@@ -35,9 +37,7 @@ func suiteIPC(b *testing.B, cfg config.Config, suite workload.Suite) float64 {
 // fraction of load/store address calculations within 30 cycles of decode.
 func BenchmarkFig1_Locality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := config.Default()
-		cfg.MaxInsts = 30_000
-		cfg.WarmupInsts = 400_000
+		cfg := config.Default().SmokeBudget()
 		var lf, sf float64
 		profs := workload.SuiteOf(workload.SuiteFP)
 		for _, p := range profs {
@@ -91,10 +91,8 @@ func BenchmarkFig7_FP(b *testing.B) { benchFig7(b, workload.SuiteFP, "FP") }
 func BenchmarkFig8a_FilterAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, bits := range []int{8, 12} {
-			cfg := config.Default()
+			cfg := config.Default().SmokeBudget()
 			cfg.ERTHashBits = bits
-			cfg.MaxInsts = 30_000
-			cfg.WarmupInsts = 400_000
 			var fp float64
 			profs := workload.SuiteOf(workload.SuiteInt)
 			for _, p := range profs {
@@ -150,10 +148,9 @@ func BenchmarkFig9_RestrictedDisambiguation(b *testing.B) {
 func BenchmarkFig10_SVW(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		measure := func(cfg config.Config) float64 {
+			cfg = cfg.SmokeBudget()
 			cfg.LSQ = config.LSQSVW
 			cfg.SSBFBits = 10
-			cfg.MaxInsts = 30_000
-			cfg.WarmupInsts = 400_000
 			var re float64
 			profs := workload.SuiteOf(workload.SuiteFP)
 			for _, p := range profs {
@@ -175,10 +172,8 @@ func BenchmarkFig10_SVW(b *testing.B) {
 func BenchmarkFig11_LLInactivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		measure := func(l2 int) float64 {
-			cfg := config.Default()
+			cfg := config.Default().SmokeBudget()
 			cfg.L2.SizeBytes = l2
-			cfg.MaxInsts = 30_000
-			cfg.WarmupInsts = 400_000
 			var idle float64
 			profs := workload.SuiteOf(workload.SuiteInt)
 			for _, p := range profs {
@@ -199,10 +194,8 @@ func BenchmarkFig11_LLInactivity(b *testing.B) {
 // FP: HL-SQ and ERT accesses in millions per 100M instructions.
 func BenchmarkTable2_AccessCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := config.Default()
+		cfg := config.Default().SmokeBudget()
 		cfg.SQM = false
-		cfg.MaxInsts = 30_000
-		cfg.WarmupInsts = 400_000
 		var hlsq, ert float64
 		profs := workload.SuiteOf(workload.SuiteFP)
 		for _, p := range profs {
@@ -218,13 +211,13 @@ func BenchmarkTable2_AccessCounts(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed (committed
-// instructions per wall-second) — the engineering metric of the simulator
-// itself.
+// BenchmarkSimulatorThroughput measures raw simulation speed — the
+// engineering metric of the simulator itself. The instruction count
+// includes the warm-up: functional warm-up is simulator work and wall time
+// covers it, so insts/sec would otherwise be understated (the full matrix
+// version of this measurement lives in internal/bench / cmd/elsqbench).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := config.Default()
-	cfg.MaxInsts = 50_000
-	cfg.WarmupInsts = 100_000
+	cfg := config.Default().WithBudget(50_000, 100_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := Simulate(cfg, "gcc", 1)
@@ -235,7 +228,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal("no progress")
 		}
 	}
-	b.ReportMetric(float64(cfg.MaxInsts)*float64(b.N), "insts")
+	b.ReportMetric(float64(cfg.MaxInsts+cfg.WarmupInsts)*float64(b.N), "insts")
 }
 
 // --- Ablation benches for the design choices DESIGN.md calls out ---

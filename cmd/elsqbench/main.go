@@ -1,0 +1,117 @@
+// Command elsqbench runs the repository's performance-regression matrix
+// (internal/bench): a fixed set of (scheme × suite × budget) simulation
+// points measured for throughput, allocation rate and headline model
+// metrics, written as a versioned BENCH_<timestamp>.json artifact.
+//
+// Typical uses:
+//
+//	elsqbench -smoke                                  # quick matrix, print + artifact
+//	elsqbench -smoke -compare bench/baseline.json     # CI regression gate
+//	elsqbench -smoke -write-baseline bench/baseline.json
+//	elsqbench -compare old.json -enforce-throughput   # before/after on one host
+//
+// Regression semantics (see internal/bench): results digests and headline
+// metrics are deterministic and must match the baseline exactly on the
+// same GOARCH; allocations/instruction get a small band; wall-clock
+// throughput is only enforced with -enforce-throughput, because it is not
+// comparable across hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime/debug"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run only the smoke-budget matrix (the per-PR CI gate)")
+	reps := flag.Int("reps", 3, "measurement repetitions per point (throughput = best, stability = median)")
+	out := flag.String("out", ".", "directory for the BENCH_<timestamp>.json artifact")
+	noArtifact := flag.Bool("no-artifact", false, "skip writing the artifact")
+	compare := flag.String("compare", "", "baseline artifact to diff against; exits 1 on regression")
+	writeBaseline := flag.String("write-baseline", "", "also write the artifact to this path (e.g. bench/baseline.json)")
+	pointFilter := flag.String("points", "", "regexp selecting matrix points by name")
+	tolAllocs := flag.Float64("tolerance-allocs", bench.DefaultTolerance().Allocs, "accepted fractional allocs/inst increase")
+	tolThroughput := flag.Float64("tolerance-throughput", bench.DefaultTolerance().Throughput, "accepted fractional median-throughput loss")
+	enforceThroughput := flag.Bool("enforce-throughput", false, "fail on throughput loss beyond the band (same-host comparisons only)")
+	gcPercent := flag.Int("gcpercent", 200, "GOGC while measuring (simulation churns short-lived structures; <=0 keeps the default)")
+	flag.Parse()
+
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
+
+	points := bench.Matrix(*smoke)
+	if *pointFilter != "" {
+		re, err := regexp.Compile(*pointFilter)
+		if err != nil {
+			fatalf("bad -points regexp: %v", err)
+		}
+		kept := points[:0]
+		for _, p := range points {
+			if re.MatchString(p.Name) {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
+	}
+	if len(points) == 0 {
+		fatalf("no matrix points selected")
+	}
+
+	results := make([]bench.PointResult, 0, len(points))
+	for _, p := range points {
+		pr, err := p.Run(*reps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%-18s %8.2f M insts/s (median %.2f)  allocs/inst %.4f  IPC %.4f  digest %s\n",
+			pr.Name, pr.InstsPerSec/1e6, pr.InstsPerSecMedian/1e6, pr.AllocsPerInst, pr.MeanIPC, pr.ResultsDigest)
+		results = append(results, pr)
+	}
+	art := bench.NewArtifact(results)
+
+	if !*noArtifact {
+		path, err := art.Write(*out)
+		if err != nil {
+			fatalf("write artifact: %v", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *writeBaseline != "" {
+		if err := art.WriteFile(*writeBaseline); err != nil {
+			fatalf("write baseline: %v", err)
+		}
+		fmt.Printf("wrote baseline %s\n", *writeBaseline)
+	}
+
+	if *compare != "" {
+		baseline, err := bench.Load(*compare)
+		if err != nil {
+			fatalf("load baseline: %v", err)
+		}
+		fmt.Print(bench.DiffTable(baseline, art))
+		tol := bench.Tolerance{
+			Throughput:        *tolThroughput,
+			EnforceThroughput: *enforceThroughput,
+			Allocs:            *tolAllocs,
+		}
+		regs := bench.Compare(baseline, art, tol)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("no regressions against", *compare)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "elsqbench: "+format+"\n", args...)
+	os.Exit(1)
+}

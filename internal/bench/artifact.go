@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the artifact layout. Bump on incompatible
+// changes so Compare refuses to diff mismatched artifacts instead of
+// misreading them.
+const SchemaVersion = 1
+
+// Artifact is the versioned on-disk form of one bench run
+// (BENCH_<timestamp>.json) and of the committed bench/baseline.json.
+type Artifact struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// CreatedAt is the measurement time (RFC 3339).
+	CreatedAt time.Time `json:"created_at"`
+	// GoVersion, GOOS, GOARCH and NumCPU describe the measuring host;
+	// throughput numbers are only comparable between like hosts, digests
+	// between like GOARCH.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Points holds one entry per matrix point, in matrix order.
+	Points []PointResult `json:"points"`
+}
+
+// NewArtifact wraps measured points with host metadata.
+func NewArtifact(points []PointResult) *Artifact {
+	return &Artifact{
+		Schema:    SchemaVersion,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Points:    points,
+	}
+}
+
+// Filename returns the canonical artifact name for the creation time.
+func (a *Artifact) Filename() string {
+	return "BENCH_" + a.CreatedAt.Format("20060102T150405Z") + ".json"
+}
+
+// Write stores the artifact under dir with its canonical name and returns
+// the full path.
+func (a *Artifact) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, a.Filename())
+	return path, a.WriteFile(path)
+}
+
+// WriteFile stores the artifact at an explicit path (e.g. the committed
+// baseline).
+func (a *Artifact) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Load reads an artifact and validates its schema.
+func Load(path string) (*Artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, this binary speaks %d", path, a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+// Tolerance configures Compare's regression bands.
+type Tolerance struct {
+	// Throughput is the accepted fractional insts/sec loss (median-based)
+	// before a regression is reported, e.g. 0.25 = fail beyond a 25% loss.
+	// Only applied when EnforceThroughput is set: wall-clock numbers are
+	// not comparable across hosts.
+	Throughput        float64
+	EnforceThroughput bool
+	// Allocs is the accepted fractional allocations-per-instruction
+	// increase. Allocation counts are a property of the code, not the
+	// host; the band only absorbs runtime-version variation.
+	Allocs float64
+}
+
+// DefaultTolerance matches the CI bench-smoke gate.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Throughput: 0.25, EnforceThroughput: false, Allocs: 0.10}
+}
+
+// Regression is one comparison failure.
+type Regression struct {
+	// Point names the matrix point.
+	Point string
+	// Kind classifies the failure: "metric-drift", "allocs", "throughput",
+	// or "missing-point".
+	Kind string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: [%s] %s", r.Point, r.Kind, r.Detail)
+}
+
+// Compare diffs a fresh artifact against a baseline and returns every
+// regression beyond tol. Points present only in one artifact are compared
+// on the intersection; a baseline point missing from the fresh run is a
+// failure (coverage must not silently shrink). Deterministic metrics
+// (results digest and the derived headline metrics) must match exactly
+// when both artifacts come from the same GOARCH.
+func Compare(baseline, fresh *Artifact, tol Tolerance) []Regression {
+	var regs []Regression
+	freshBy := make(map[string]PointResult, len(fresh.Points))
+	for _, p := range fresh.Points {
+		freshBy[p.Name] = p
+	}
+	sameArch := baseline.GOARCH == fresh.GOARCH
+	if !sameArch {
+		// Digest comparison is only meaningful within one GOARCH. Failing
+		// loudly here keeps the deterministic class of the gate from
+		// evaporating silently: a baseline regenerated on a different
+		// architecture must be regenerated on the enforcing one.
+		regs = append(regs, Regression{Point: "(artifact)", Kind: "arch-mismatch",
+			Detail: fmt.Sprintf("baseline GOARCH %s != %s: results digests cannot be compared — regenerate the baseline on %s",
+				baseline.GOARCH, fresh.GOARCH, fresh.GOARCH)})
+	}
+	for _, old := range baseline.Points {
+		cur, ok := freshBy[old.Name]
+		if !ok {
+			regs = append(regs, Regression{Point: old.Name, Kind: "missing-point",
+				Detail: "present in baseline but not measured"})
+			continue
+		}
+		if sameArch && cur.ResultsDigest != old.ResultsDigest {
+			regs = append(regs, Regression{Point: old.Name, Kind: "metric-drift",
+				Detail: fmt.Sprintf("results digest %s != baseline %s (IPC %.4f vs %.4f): simulation output changed — if intended, regenerate the baseline and bump the sweep cache version",
+					cur.ResultsDigest, old.ResultsDigest, cur.MeanIPC, old.MeanIPC)})
+		}
+		if old.AllocsPerInst >= 0 && cur.AllocsPerInst > old.AllocsPerInst*(1+tol.Allocs)+0.01 {
+			regs = append(regs, Regression{Point: old.Name, Kind: "allocs",
+				Detail: fmt.Sprintf("allocs/inst %.4f exceeds baseline %.4f by more than %d%%",
+					cur.AllocsPerInst, old.AllocsPerInst, int(tol.Allocs*100))})
+		}
+		if tol.EnforceThroughput && old.InstsPerSecMedian > 0 {
+			loss := 1 - cur.InstsPerSecMedian/old.InstsPerSecMedian
+			if loss > tol.Throughput {
+				regs = append(regs, Regression{Point: old.Name, Kind: "throughput",
+					Detail: fmt.Sprintf("median %.2f M insts/s is %.0f%% below baseline %.2f M insts/s (band %d%%)",
+						cur.InstsPerSecMedian/1e6, loss*100, old.InstsPerSecMedian/1e6, int(tol.Throughput*100))})
+			}
+		}
+	}
+	return regs
+}
+
+// DiffTable renders a point-by-point comparison for human eyes.
+func DiffTable(baseline, fresh *Artifact) string {
+	freshBy := make(map[string]PointResult, len(fresh.Points))
+	for _, p := range fresh.Points {
+		freshBy[p.Name] = p
+	}
+	out := fmt.Sprintf("%-18s %14s %14s %8s %12s %8s\n",
+		"point", "base M/s", "new M/s", "speedup", "allocs/inst", "digest")
+	for _, old := range baseline.Points {
+		cur, ok := freshBy[old.Name]
+		if !ok {
+			out += fmt.Sprintf("%-18s %14s\n", old.Name, "(missing)")
+			continue
+		}
+		mark := "ok"
+		if cur.ResultsDigest != old.ResultsDigest {
+			mark = "DRIFT"
+		}
+		out += fmt.Sprintf("%-18s %14.2f %14.2f %7.2fx %12.4f %8s\n",
+			old.Name, old.InstsPerSecMedian/1e6, cur.InstsPerSecMedian/1e6,
+			cur.InstsPerSecMedian/old.InstsPerSecMedian, cur.AllocsPerInst, mark)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestMatrixShape(t *testing.T) {
+	smoke := Matrix(true)
+	full := Matrix(false)
+	if len(smoke) != 8 {
+		t.Fatalf("smoke matrix has %d points, want 8", len(smoke))
+	}
+	if len(full) != 12 {
+		t.Fatalf("full matrix has %d points, want 12", len(full))
+	}
+	seen := map[string]bool{}
+	for _, p := range full {
+		if seen[p.Name] {
+			t.Errorf("duplicate point %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", p.Name, err)
+		}
+		if p.Config.MaxInsts != p.Budget.Measure || p.Config.WarmupInsts != p.Budget.Warmup {
+			t.Errorf("%s: budget not applied to config", p.Name)
+		}
+		if !strings.Contains(p.Name, p.Budget.Name) {
+			t.Errorf("%s: name does not carry budget %q", p.Name, p.Budget.Name)
+		}
+	}
+	for _, p := range smoke {
+		if p.Budget.Name != SmokeBudget.Name {
+			t.Errorf("smoke matrix contains %s", p.Name)
+		}
+	}
+}
+
+// tinyPoint is a fast measurement point for tests.
+func tinyPoint() Point {
+	cfg := config.Default().WithBudget(2_000, 10_000)
+	return Point{
+		Name:   "elsq/fp/tiny",
+		Scheme: "elsq",
+		Suite:  workload.SuiteFP,
+		Budget: Budget{Name: "tiny", Measure: 2_000, Warmup: 10_000},
+		Config: cfg,
+	}
+}
+
+func TestPointRunDeterministicMetrics(t *testing.T) {
+	a, err := tinyPoint().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tinyPoint().Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResultsDigest != b.ResultsDigest {
+		t.Errorf("results digest differs across runs: %s vs %s", a.ResultsDigest, b.ResultsDigest)
+	}
+	if a.MeanIPC != b.MeanIPC || a.LoadLocality30 != b.LoadLocality30 || a.StoreLocality30 != b.StoreLocality30 {
+		t.Errorf("deterministic metrics differ across runs: %+v vs %+v", a, b)
+	}
+	if a.InstsPerSec <= 0 || len(a.WallNS) != 1 || len(b.WallNS) != 2 {
+		t.Errorf("throughput bookkeeping wrong: %+v / %+v", a, b)
+	}
+	if a.Benchmarks != len(workload.FPSuite()) {
+		t.Errorf("point covered %d benchmarks, want the FP suite", a.Benchmarks)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	pr, err := tinyPoint().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := NewArtifact([]PointResult{pr})
+	dir := t.TempDir()
+	path, err := art.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(path), "BENCH_") || !strings.HasSuffix(path, ".json") {
+		t.Errorf("artifact name %q does not follow BENCH_<timestamp>.json", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 1 || !reflect.DeepEqual(got.Points[0], pr) {
+		t.Errorf("artifact round trip changed the point: %+v", got.Points[0])
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema %d after round trip", got.Schema)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	art := NewArtifact(nil)
+	art.Schema = SchemaVersion + 1
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted a mismatched schema")
+	}
+}
+
+func mkArtifact(p PointResult) *Artifact {
+	a := NewArtifact([]PointResult{p})
+	a.CreatedAt = time.Unix(0, 0).UTC()
+	return a
+}
+
+func basePoint() PointResult {
+	return PointResult{
+		Name:              "elsq/fp/smoke",
+		InstsPerSecMedian: 50e6,
+		AllocsPerInst:     0.01,
+		ResultsDigest:     "aaaa",
+		MeanIPC:           2.5,
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tol := DefaultTolerance()
+
+	t.Run("clean", func(t *testing.T) {
+		if regs := Compare(mkArtifact(basePoint()), mkArtifact(basePoint()), tol); len(regs) != 0 {
+			t.Errorf("unexpected regressions: %v", regs)
+		}
+	})
+	t.Run("metric drift", func(t *testing.T) {
+		cur := basePoint()
+		cur.ResultsDigest = "bbbb"
+		regs := Compare(mkArtifact(basePoint()), mkArtifact(cur), tol)
+		if len(regs) != 1 || regs[0].Kind != "metric-drift" {
+			t.Errorf("want one metric-drift, got %v", regs)
+		}
+	})
+	t.Run("arch mismatch fails loudly", func(t *testing.T) {
+		cur := basePoint()
+		cur.ResultsDigest = "bbbb"
+		fresh := mkArtifact(cur)
+		fresh.GOARCH = "arm64"
+		regs := Compare(mkArtifact(basePoint()), fresh, tol)
+		if len(regs) != 1 || regs[0].Kind != "arch-mismatch" {
+			t.Errorf("want one arch-mismatch (digests not comparable), got %v", regs)
+		}
+	})
+	t.Run("allocs regression", func(t *testing.T) {
+		cur := basePoint()
+		cur.AllocsPerInst = 0.5
+		regs := Compare(mkArtifact(basePoint()), mkArtifact(cur), tol)
+		if len(regs) != 1 || regs[0].Kind != "allocs" {
+			t.Errorf("want one allocs regression, got %v", regs)
+		}
+	})
+	t.Run("throughput only when enforced", func(t *testing.T) {
+		cur := basePoint()
+		cur.InstsPerSecMedian = 20e6
+		if regs := Compare(mkArtifact(basePoint()), mkArtifact(cur), tol); len(regs) != 0 {
+			t.Errorf("throughput enforced by default: %v", regs)
+		}
+		etol := tol
+		etol.EnforceThroughput = true
+		regs := Compare(mkArtifact(basePoint()), mkArtifact(cur), etol)
+		if len(regs) != 1 || regs[0].Kind != "throughput" {
+			t.Errorf("want one throughput regression, got %v", regs)
+		}
+	})
+	t.Run("missing point", func(t *testing.T) {
+		fresh := NewArtifact(nil)
+		regs := Compare(mkArtifact(basePoint()), fresh, tol)
+		if len(regs) != 1 || regs[0].Kind != "missing-point" {
+			t.Errorf("want one missing-point, got %v", regs)
+		}
+	})
+}

@@ -229,7 +229,44 @@ type Config struct {
 	// measurement starts, so caches and predictor-equivalent state reach
 	// steady state (the paper measures SimPoints of already-warm
 	// execution).
+	//
+	// Budget semantics: the simulator first advances WarmupInsts committed-
+	// path instructions functionally — memory references touch the cache
+	// hierarchy, nothing is timed — and then simulates exactly MaxInsts
+	// instructions with full timing. Every reported metric (IPC, counters,
+	// histograms, activity fractions) covers only the measured MaxInsts;
+	// the warm-up affects results solely through the cache state it leaves
+	// behind. Throughput reporting must therefore count WarmupInsts +
+	// MaxInsts instructions of simulator work per run while metric
+	// normalisation (e.g. stats.Per100M) uses committed == MaxInsts. The
+	// two fields are independent: setting one never alters the other, and
+	// assignment order is immaterial. Use WithBudget to set both
+	// explicitly; SmokeBudget is the standard quick-evaluation point used
+	// by the benchmark suites and the bench-smoke CI gate.
 	WarmupInsts uint64
+}
+
+// Standard instruction budgets. Smoke is large enough that the measured
+// region runs entirely in cache-warm steady state (the warm-up spans the
+// largest working-set period of the synthetic kernels) yet small enough for
+// per-PR CI; Deep matches Default().
+const (
+	// SmokeMeasureInsts and SmokeWarmupInsts define the smoke budget.
+	SmokeMeasureInsts uint64 = 30_000
+	SmokeWarmupInsts  uint64 = 400_000
+)
+
+// WithBudget returns a copy of c measuring measure instructions after
+// warmup warm-up instructions.
+func (c Config) WithBudget(measure, warmup uint64) Config {
+	c.MaxInsts = measure
+	c.WarmupInsts = warmup
+	return c
+}
+
+// SmokeBudget returns a copy of c at the standard smoke budget.
+func (c Config) SmokeBudget() Config {
+	return c.WithBudget(SmokeMeasureInsts, SmokeWarmupInsts)
 }
 
 // Default returns the Table 1 configuration: 4-way fetch, 64-entry CP ROB,

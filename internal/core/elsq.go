@@ -22,6 +22,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/config"
 	"repro/internal/filter"
 	"repro/internal/lsq"
@@ -68,6 +70,25 @@ type ELSQ struct {
 	noLQ bool
 
 	c *stats.Counters
+
+	// Interned counter handles for the per-operation paths.
+	cHLSQ, cHLLQ, cLLSQ, cLLLQ, cERT         *uint64
+	cSQMUpdate, cSQMSearch, cRoundtrip       *uint64
+	cFwdLocal, cFwdGlobal, cERTFalsePositive *uint64
+
+	// Per-LoadIssue scratch replacing a per-call map: the youngest matching
+	// store per physical bank, stamped with a generation so no clearing is
+	// needed. At most one virtual epoch is live per bank, and candidate
+	// stores arrive ascending by age, so the live epoch's youngest match
+	// wins the slot exactly as the map's per-virtual-epoch entry did.
+	matchGen   []uint64
+	matchV     []int64
+	matchOp    []*lsq.MemOp
+	gen        uint64
+	candEpochs []int64
+
+	// Per-StoreAddrReady scratch for the local/remote younger-load split.
+	scratchLocal, scratchRemote []*lsq.MemOp
 }
 
 // Option configures optional ELSQ behaviour.
@@ -96,7 +117,21 @@ func New(cfg *config.Config, bus *noc.Bus, mesh *noc.Mesh, l1 *mem.Cache, opts .
 		releaseAt:     make([]int64, cfg.NumEpochs),
 		lockedSlots:   make([][]mem.LineSlot, cfg.NumEpochs),
 		c:             stats.NewCounters(),
+		matchGen:      make([]uint64, cfg.NumEpochs),
+		matchV:        make([]int64, cfg.NumEpochs),
+		matchOp:       make([]*lsq.MemOp, cfg.NumEpochs),
 	}
+	e.cHLSQ = e.c.Handle("hl_sq")
+	e.cHLLQ = e.c.Handle("hl_lq")
+	e.cLLSQ = e.c.Handle("ll_sq")
+	e.cLLLQ = e.c.Handle("ll_lq")
+	e.cERT = e.c.Handle("ert")
+	e.cSQMUpdate = e.c.Handle("sqm_update")
+	e.cSQMSearch = e.c.Handle("sqm_search")
+	e.cRoundtrip = e.c.Handle("roundtrip")
+	e.cFwdLocal = e.c.Handle("ll_forward_local")
+	e.cFwdGlobal = e.c.Handle("ll_forward_global")
+	e.cERTFalsePositive = e.c.Handle("ert_false_positive")
 	for i := range e.activeVirtual {
 		e.activeVirtual[i] = -1
 	}
@@ -199,7 +234,7 @@ func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
 	if op.Store {
 		e.ert.SetStore(idx, phys)
 		if e.cfg.SQM {
-			e.c.Inc("sqm_update")
+			*e.cSQMUpdate++
 		}
 	} else if !e.noLQ && e.cfg.Disamb != config.DisambRSAC {
 		// The Load-ERT exists only when stores perform global violation
@@ -237,9 +272,9 @@ func (e *ELSQ) forceUnlockOne() {
 // insert at address resolution via AddrKnownInLL.
 func (e *ELSQ) Migrate(op *lsq.MemOp, t int64) int64 {
 	if op.Store {
-		e.c.Inc("ll_sq")
+		*e.cLLSQ++
 	} else {
-		e.c.Inc("ll_lq")
+		*e.cLLLQ++
 	}
 	if op.AddrReady <= t {
 		stall, _ := e.insert(op, true)
@@ -294,39 +329,54 @@ func (e *ELSQ) EpochSquashed(epoch int) {
 	e.releaseAt[phys] = 0
 }
 
+// epochMatch returns the youngest candidate store of virtual epoch v seen
+// by the current LoadIssue pass, or nil.
+func (e *ELSQ) epochMatch(v int64) *lsq.MemOp {
+	p := e.physical(v)
+	if e.matchGen[p] == e.gen && e.matchV[p] == v {
+		return e.matchOp[p]
+	}
+	return nil
+}
+
 // LoadIssue implements lsq.Scheme: two-level disambiguation for a load.
 func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadResult {
 	// One pass over the candidate stores: the youngest match still in the
-	// HL-SQ at t, and the youngest match per virtual epoch. Candidates are
-	// ascending by age, so later assignments win.
+	// HL-SQ at t, and the youngest match per virtual epoch (bank-indexed
+	// scratch; only live epochs are ever queried and exactly one virtual
+	// epoch is live per bank). Candidates are ascending by age, so later
+	// assignments win.
 	var hlMatch *lsq.MemOp
-	epochMatch := map[int64]*lsq.MemOp{}
+	e.gen++
 	for _, st := range ix.Candidates(ld, t) {
 		if st.MigrateAt == 0 || st.MigrateAt > t {
 			hlMatch = st
 		} else {
-			epochMatch[int64(st.Epoch)] = st
+			p := e.physical(int64(st.Epoch))
+			e.matchGen[p] = e.gen
+			e.matchV[p] = int64(st.Epoch)
+			e.matchOp[p] = st
 		}
 	}
 	ld.UnresolvedOlderStore = ix.Unresolved(ld, t)
 
 	// Level 1: local search.
 	if ld.Epoch == lsq.HLEpoch {
-		e.c.Inc("hl_sq")
+		*e.cHLSQ++
 		if hlMatch != nil {
 			return lsq.Resolve(ld, hlMatch, t)
 		}
 	} else {
-		e.c.Inc("ll_sq")
-		if m := epochMatch[int64(ld.Epoch)]; m != nil {
+		*e.cLLSQ++
+		if m := e.epochMatch(int64(ld.Epoch)); m != nil {
 			// Local same-epoch forwarding: no global search, no network.
-			e.c.Inc("ll_forward_local")
+			*e.cFwdLocal++
 			return lsq.Resolve(ld, m, t)
 		}
 	}
 
 	// Level 2: global search, guarded by the Store-ERT.
-	e.c.Inc("ert")
+	*e.cERT++
 	idx, present := e.ertIndex(ld.Addr)
 	if !present {
 		return lsq.LoadResult{} // line not resident => no LL store to it
@@ -347,10 +397,10 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 		if e.cfg.SQM {
 			// The SQM sits next to the ERT: one extra cycle, no trip.
 			extra = 1
-			e.c.Inc("sqm_search")
+			*e.cSQMSearch++
 		} else {
 			extra = int64(e.bus.RoundTrip())
-			e.c.Inc("roundtrip")
+			*e.cRoundtrip++
 		}
 	}
 
@@ -359,29 +409,31 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 		prev = e.physical(int64(ld.Epoch))
 	}
 	for _, v := range candidates {
-		e.c.Inc("ll_sq")
+		*e.cLLSQ++
 		extra++ // sequential epoch search
 		if ld.Epoch != lsq.HLEpoch && prev >= 0 {
 			extra += int64(e.mesh.Traverse(prev, e.physical(v)))
 		}
 		prev = e.physical(v)
-		if m := epochMatch[v]; m != nil {
-			e.c.Inc("ll_forward_global")
+		if m := e.epochMatch(v); m != nil {
+			*e.cFwdGlobal++
 			res := lsq.Resolve(ld, m, t+extra)
 			res.ExtraLatency = extra
 			return res
 		}
-		e.c.Inc("ert_false_positive")
+		*e.cERTFalsePositive++
 	}
 	return lsq.LoadResult{ExtraLatency: extra}
 }
 
 // candidateEpochs converts an ERT bank mask into the virtual epochs older
 // than ld and still uncommitted at t, youngest first (the paper's search
-// order).
+// order). The returned slice is scratch storage owned by the ELSQ, valid
+// until the next call.
 func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
-	var out []int64
-	for _, phys := range filter.EpochsOf(mask) {
+	out := e.candEpochs[:0]
+	for m := mask; m != 0; m &= m - 1 {
+		phys := bits.TrailingZeros32(m)
 		v := e.activeVirtual[phys]
 		if v < 0 || !e.liveAt(phys, t) {
 			continue // stale bank bit (cleared or committed epoch)
@@ -395,13 +447,14 @@ func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	// Insertion order of EpochsOf is ascending physical, not virtual; sort
-	// descending by virtual id (N<=16, simple insertion sort).
+	// Insertion order of the mask scan is ascending physical, not virtual;
+	// sort descending by virtual id (N<=16, simple insertion sort).
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] > out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
+	e.candEpochs = out
 	return out
 }
 
@@ -417,7 +470,7 @@ func (e *ELSQ) StoreAddrReady(st *lsq.MemOp, younger []*lsq.MemOp, t int64) lsq.
 		// search at issue — every younger issued load was high-locality at
 		// that point. This is the common case Figure 1 predicts: store
 		// addresses rarely depend on misses.
-		e.c.Inc("hl_lq")
+		*e.cHLLQ++
 		if ld := lsq.FindViolation(st, younger, t); ld != nil {
 			return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
 		}
@@ -426,36 +479,37 @@ func (e *ELSQ) StoreAddrReady(st *lsq.MemOp, younger []*lsq.MemOp, t int64) lsq.
 	// Low-locality store (full disambiguation or RLAC): local epoch search,
 	// then Load-ERT guarded searches of younger epochs, then the HL-LQ.
 	// Under RSAC stores never reach the LL-LSQ, so this path never runs.
-	e.c.Inc("ll_lq")
-	local := make([]*lsq.MemOp, 0, 8)
-	remote := make([]*lsq.MemOp, 0, 8)
+	*e.cLLLQ++
+	e.scratchLocal = e.scratchLocal[:0]
+	e.scratchRemote = e.scratchRemote[:0]
 	for _, ld := range younger {
 		if ld.Epoch == st.Epoch {
-			local = append(local, ld)
+			e.scratchLocal = append(e.scratchLocal, ld)
 		} else {
-			remote = append(remote, ld)
+			e.scratchRemote = append(e.scratchRemote, ld)
 		}
 	}
-	if ld := lsq.FindViolation(st, local, t); ld != nil {
+	if ld := lsq.FindViolation(st, e.scratchLocal, t); ld != nil {
 		return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
 	}
-	e.c.Inc("ert")
+	*e.cERT++
 	idx, present := e.ertIndex(st.Addr)
 	if present {
 		mask := e.ert.LoadMask(idx)
-		for _, phys := range filter.EpochsOf(mask) {
+		for m := mask; m != 0; m &= m - 1 {
+			phys := bits.TrailingZeros32(m)
 			v := e.activeVirtual[phys]
 			if v < 0 || v <= int64(st.Epoch) || !e.liveAt(phys, t) {
 				continue // only live younger epochs can hold violating loads
 			}
-			e.c.Inc("ll_lq")
+			*e.cLLLQ++
 		}
 	}
 	// The HL-LQ holds the youngest loads; an LL store must check it (one
 	// network trip from the memory engine to the CP).
-	e.c.Inc("hl_lq")
-	e.c.Inc("roundtrip")
-	if ld := lsq.FindViolation(st, remote, t); ld != nil {
+	*e.cHLLQ++
+	*e.cRoundtrip++
+	if ld := lsq.FindViolation(st, e.scratchRemote, t); ld != nil {
 		return lsq.StoreResult{Violation: true, ViolatingLoad: ld}
 	}
 	return lsq.StoreResult{}

@@ -64,7 +64,7 @@ type Result struct {
 // Sim is one simulation instance: a configuration bound to a workload.
 type Sim struct {
 	cfg    config.Config
-	gen    *workload.Generator
+	gen    workload.Source
 	scheme lsq.Scheme
 	hier   *mem.Hierarchy
 	bus    *noc.Bus
@@ -108,10 +108,26 @@ type Sim struct {
 	// active (ELSQ organisations); the central queue buffers them itself.
 	storesMigrate bool
 	wrongPathCap  int
+
+	// loadOp and wpOp are the reusable records for loads and wrong-path
+	// memory ops: neither outlives its step (nothing retains them — the
+	// StoreIndex holds only stores, and schemes keep no op pointers), so
+	// one scratch value each makes the per-instruction path allocation-
+	// free. Store records come from the StoreIndex's recycling pool
+	// instead, because they stay searchable until compaction retires them.
+	loadOp, wpOp lsq.MemOp
+
+	// Interned counter handles for per-instruction events.
+	cCache, cMispredict, cViolation *uint64
+	cPartialForward, cLLSquash      *uint64
+	cRlacStall, cRsacStall          *uint64
+	cMigrateStall                   *uint64
+	cWpLoad, cWpStore, cWpOther     *uint64
+	cLoadLevel                      [3]*uint64 // indexed by mem.Level
 }
 
-// New builds a simulator for cfg running the given benchmark generator.
-func New(cfg config.Config, gen *workload.Generator) (*Sim, error) {
+// New builds a simulator for cfg running the given benchmark source.
+func New(cfg config.Config, gen workload.Source) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,6 +141,20 @@ func New(cfg config.Config, gen *workload.Generator) (*Sim, error) {
 		loadDist:  stats.NewHistogram(30, 50),
 		storeDist: stats.NewHistogram(30, 50),
 	}
+	s.cCache = s.c.Handle("cache")
+	s.cMispredict = s.c.Handle("mispredict")
+	s.cViolation = s.c.Handle("violation")
+	s.cPartialForward = s.c.Handle("partial_forward")
+	s.cLLSquash = s.c.Handle("ll_squash")
+	s.cRlacStall = s.c.Handle("rlac_stall")
+	s.cRsacStall = s.c.Handle("rsac_stall")
+	s.cMigrateStall = s.c.Handle("migrate_stall_cycles")
+	s.cWpLoad = s.c.Handle("wrongpath_load")
+	s.cWpStore = s.c.Handle("wrongpath_store")
+	s.cWpOther = s.c.Handle("wrongpath_other")
+	s.cLoadLevel[mem.LevelL1] = s.c.Handle("load_L1")
+	s.cLoadLevel[mem.LevelL2] = s.c.Handle("load_L2")
+	s.cLoadLevel[mem.LevelMem] = s.c.Handle("load_mem")
 	// 4x4 mesh for the default 16 engines; other counts use a single row.
 	w, h := cfg.NumEpochs, 1
 	if cfg.NumEpochs == 16 {
@@ -187,12 +217,7 @@ func New(cfg config.Config, gen *workload.Generator) (*Sim, error) {
 // result.
 func (s *Sim) Run() *Result {
 	var in isa.Inst
-	for i := uint64(0); i < s.cfg.WarmupInsts; i++ {
-		s.gen.Next(&in)
-		if in.IsMem() {
-			s.hier.Access(in.Addr)
-		}
-	}
+	s.gen.Warmup(s.cfg.WarmupInsts, func(addr uint64) { s.hier.Access(addr) })
 	for s.committed < s.cfg.MaxInsts {
 		s.gen.Next(&in)
 		s.step(&in)
@@ -299,7 +324,7 @@ func (s *Sim) step(in *isa.Inst) {
 			// migration (the window fills behind it).
 			llExec = false
 			s.lastMigrate = max64(s.lastMigrate, addrReady)
-			s.c.Inc("rlac_stall")
+			*s.cRlacStall++
 		}
 	}
 	llActive := s.llBusyUntil > dispatch
@@ -308,11 +333,15 @@ func (s *Sim) step(in *isa.Inst) {
 	// --- migration (HL -> LL epoch) ---
 	var op *lsq.MemOp
 	if isMem {
-		op = &lsq.MemOp{
-			Seq: in.Seq, Store: isStore, Addr: in.Addr, Size: in.Size,
-			Dispatch: dispatch, AddrReady: addrReady,
-			Epoch: lsq.HLEpoch, LowLoc: llExec,
+		if isStore {
+			op = s.storeIx.NewOp()
+		} else {
+			op = &s.loadOp
+			*op = lsq.MemOp{}
 		}
+		op.Seq, op.Store, op.Addr, op.Size = in.Seq, isStore, in.Addr, in.Size
+		op.Dispatch, op.AddrReady = dispatch, addrReady
+		op.Epoch, op.LowLoc = lsq.HLEpoch, llExec
 		if isStore {
 			op.DataReady = dataReady
 		}
@@ -340,13 +369,13 @@ func (s *Sim) step(in *isa.Inst) {
 			if stall > 0 {
 				migT += stall
 				s.lastMigrate = migT
-				s.c.Add("migrate_stall_cycles", uint64(stall))
+				*s.cMigrateStall += uint64(stall)
 			}
 			if op.AddrReady > migT {
 				// Address resolves inside the LL-LSQ.
 				if s.scheme.AddrKnownInLL(op, op.AddrReady) {
 					// Line-ERT lock overflow: squash from this op.
-					s.c.Inc("ll_squash")
+					*s.cLLSquash++
 					s.nextFetchMin = max64(s.nextFetchMin, op.AddrReady+int64(s.cfg.MispredictPenalty))
 				}
 			}
@@ -355,7 +384,7 @@ func (s *Sim) step(in *isa.Inst) {
 				// Restricted SAC: younger memory references may not
 				// migrate until this store's address resolves.
 				s.migBlockMem = max64(s.migBlockMem, op.AddrReady)
-				s.c.Inc("rsac_stall")
+				*s.cRsacStall++
 			}
 		}
 	}
@@ -375,7 +404,7 @@ func (s *Sim) step(in *isa.Inst) {
 		}
 		done = issueAt + lat
 		if in.Op == isa.OpBranch && in.Mispred {
-			s.c.Inc("mispredict")
+			*s.cMispredict++
 			s.injectWrongPath(dispatch+1, done)
 			s.nextFetchMin = max64(s.nextFetchMin, done+int64(s.cfg.MispredictPenalty))
 		}
@@ -401,7 +430,7 @@ func (s *Sim) step(in *isa.Inst) {
 			port := s.portsCal.Reserve(ct)
 			lat := int64(s.hier.Latency(s.hier.Probe(op.Addr)))
 			ct = port + lat
-			s.c.Inc("cache")
+			*s.cCache++
 		}
 	}
 	s.lastCommit = ct
@@ -413,7 +442,7 @@ func (s *Sim) step(in *isa.Inst) {
 		// In-order memory update at commit.
 		s.portsCal.Reserve(ct)
 		s.hier.Access(op.Addr)
-		s.c.Inc("cache")
+		*s.cCache++
 		if s.svwEng != nil {
 			s.svwEng.StoreCommitted(op.Addr, op.Seq, ct)
 		}
@@ -495,13 +524,13 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 
 	res := s.scheme.LoadIssue(op, s.storeIx, issue)
 	if res.Squash {
-		s.c.Inc("ll_squash")
+		*s.cLLSquash++
 		s.nextFetchMin = max64(s.nextFetchMin, issue+int64(s.cfg.MispredictPenalty))
 	}
 
 	level, lat := s.hier.Access(op.Addr)
-	s.c.Inc("cache")
-	s.c.Inc("load_" + level.String())
+	*s.cCache++
+	*s.cLoadLevel[level]++
 	switch {
 	case res.Forwarded:
 		op.ForwardedFrom = res.Source.Seq + 1
@@ -509,7 +538,7 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 	case res.Partial:
 		// Partially matching store: wait for it to commit, then read the
 		// cache (squash-and-refetch-free variant of the Power4 rule).
-		s.c.Inc("partial_forward")
+		*s.cPartialForward++
 		done = max64(issue, res.PartialStore.Commit) + int64(s.cfg.L1.LatencyCycles) + 1
 	default:
 		done = issue + res.ExtraLatency + int64(lat)
@@ -538,7 +567,7 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 	// re-execution itself is modelled in step()).
 	for _, st := range s.storeIx.CandidatesOracle(op, issue) {
 		if st.AddrReady > issue {
-			s.c.Inc("violation")
+			*s.cViolation++
 			done = max64(done, max64(st.AddrReady, st.DataReady)+1)
 			if s.svwEng == nil {
 				s.nextFetchMin = max64(s.nextFetchMin, st.AddrReady+int64(s.cfg.MispredictPenalty))
@@ -582,7 +611,8 @@ func (s *Sim) injectWrongPath(start, resolve int64) {
 		s.robRing.Push(resolve)
 		switch in.Op {
 		case isa.OpLoad:
-			wp := &lsq.MemOp{
+			wp := &s.wpOp
+			*wp = lsq.MemOp{
 				Seq: in.Seq, Addr: in.Addr, Size: in.Size,
 				Dispatch: d, AddrReady: d + 1, Epoch: lsq.HLEpoch,
 			}
@@ -590,18 +620,19 @@ func (s *Sim) injectWrongPath(start, resolve int64) {
 			wp.Issued = issue
 			s.scheme.LoadIssue(wp, s.storeIx, issue)
 			s.hier.Access(wp.Addr)
-			s.c.Inc("cache")
-			s.c.Inc("wrongpath_load")
+			*s.cCache++
+			*s.cWpLoad++
 		case isa.OpStore:
-			wp := &lsq.MemOp{
+			wp := &s.wpOp
+			*wp = lsq.MemOp{
 				Seq: in.Seq, Store: true, Addr: in.Addr, Size: in.Size,
 				Dispatch: d, AddrReady: d + 1, DataReady: d + 1,
 				Epoch: lsq.HLEpoch, Issued: d + 1,
 			}
 			s.scheme.StoreAddrReady(wp, nil, d+1)
-			s.c.Inc("wrongpath_store")
+			*s.cWpStore++
 		default:
-			s.c.Inc("wrongpath_other")
+			*s.cWpOther++
 		}
 	}
 }

@@ -16,7 +16,6 @@ type epochInfo struct {
 	open       int64
 	lastSeq    uint64
 	lastCommit int64
-	closed     bool
 }
 
 // Release reports an epoch that fully committed: every op of virtual epoch
@@ -44,7 +43,11 @@ type Epochs struct {
 	execs, loads, stores int
 	// bankFree[p] is the cycle bank p's previous occupant fully committed.
 	bankFree []int64
-	info     map[int64]*epochInfo
+	// currInfo tracks the open epoch (valid while curr >= 0). Epochs close
+	// strictly in order — the previous epoch is released the moment a new
+	// one opens — so at most one is ever tracked and no map is needed on
+	// the per-migration path.
+	currInfo epochInfo
 
 	// cal enforces each memory engine's issue width. Engines are nominally
 	// in-order, but waiting instructions live in the slice buffer and
@@ -67,7 +70,6 @@ func NewEpochs(cfg *config.Config) *Epochs {
 		cfg:      cfg,
 		curr:     -1,
 		bankFree: make([]int64, cfg.NumEpochs),
-		info:     make(map[int64]*epochInfo),
 		cal:      make([]*sched.Calendar, cfg.NumEpochs),
 	}
 	for i := range e.cal {
@@ -106,7 +108,7 @@ func (e *Epochs) Assign(exec, load, store bool, seq uint64, t int64) (v int64, e
 		}
 		e.curr = v
 		e.execs, e.loads, e.stores = 0, 0, 0
-		e.info[v] = &epochInfo{open: enterAt}
+		e.currInfo = epochInfo{open: enterAt}
 		e.Opened++
 	} else {
 		v = e.curr
@@ -120,22 +122,19 @@ func (e *Epochs) Assign(exec, load, store bool, seq uint64, t int64) (v int64, e
 	if store {
 		e.stores++
 	}
-	e.info[v].lastSeq = seq
+	e.currInfo.lastSeq = seq
 	return v, enterAt, rel
 }
 
-// release closes epoch v and accounts its lifetime. Its last commit time is
-// final because all its members have been processed.
+// release closes epoch v (necessarily the open one) and accounts its
+// lifetime. Its last commit time is final because all its members have been
+// processed.
 func (e *Epochs) release(v int64) Release {
-	inf := e.info[v]
-	inf.closed = true
+	inf := e.currInfo
 	p := e.Physical(v)
 	e.bankFree[p] = inf.lastCommit
 	e.ActiveCycleSum += inf.lastCommit - inf.open
-	delete(e.info, v)
-	if e.curr == v {
-		e.curr = -1
-	}
+	e.curr = -1
 	return Release{V: v, At: inf.lastCommit, OK: true}
 }
 
@@ -147,12 +146,12 @@ func (e *Epochs) Issue(v int64, ready int64) int64 {
 
 // Committed records that the op with sequence seq of virtual epoch v
 // committed at cycle t. Commit is in order, so the epoch's last observed
-// commit is its release time once it closes.
+// commit is its release time once it closes. Closed epochs were released
+// with their final commit time already known (program-order processing), so
+// only the open epoch is updated.
 func (e *Epochs) Committed(v int64, seq uint64, t int64) {
-	if inf, ok := e.info[v]; ok {
-		if t > inf.lastCommit {
-			inf.lastCommit = t
-		}
+	if v == e.curr && t > e.currInfo.lastCommit {
+		e.currInfo.lastCommit = t
 	}
 }
 
@@ -165,5 +164,11 @@ func (e *Epochs) CloseAll() Release {
 	return Release{}
 }
 
-// InFlight reports how many epochs are currently allocated.
-func (e *Epochs) InFlight() int { return len(e.info) }
+// InFlight reports how many epochs are currently allocated (0 or 1: an
+// epoch is released the moment its successor opens).
+func (e *Epochs) InFlight() int {
+	if e.curr >= 0 {
+		return 1
+	}
+	return 0
+}

@@ -12,11 +12,17 @@ import (
 type Central struct {
 	bus *noc.Bus
 	c   *stats.Counters
+
+	cHLSQ, cHLLQ, cRoundtrip *uint64
 }
 
 // NewCentral builds the idealised queue over the given CP<->MP bus.
 func NewCentral(bus *noc.Bus) *Central {
-	return &Central{bus: bus, c: stats.NewCounters()}
+	s := &Central{bus: bus, c: stats.NewCounters()}
+	s.cHLSQ = s.c.Handle("hl_sq")
+	s.cHLLQ = s.c.Handle("hl_lq")
+	s.cRoundtrip = s.c.Handle("roundtrip")
+	return s
 }
 
 // Name implements Scheme.
@@ -25,11 +31,11 @@ func (s *Central) Name() string { return "central" }
 // LoadIssue implements Scheme: one single-cycle search of the whole window;
 // MP-resident loads pay a bus round trip.
 func (s *Central) LoadIssue(ld *MemOp, ix *StoreIndex, t int64) LoadResult {
-	s.c.Inc("hl_sq") // the central queue is counted as the HL structure
+	*s.cHLSQ++ // the central queue is counted as the HL structure
 	var extra int64
 	if ld.LowLoc {
 		extra = int64(s.bus.RoundTrip())
-		s.c.Inc("roundtrip")
+		*s.cRoundtrip++
 	}
 	match, _ := FindForward(ld, ix.Candidates(ld, t), t)
 	ld.UnresolvedOlderStore = ix.Unresolved(ld, t)
@@ -40,9 +46,9 @@ func (s *Central) LoadIssue(ld *MemOp, ix *StoreIndex, t int64) LoadResult {
 
 // StoreAddrReady implements Scheme.
 func (s *Central) StoreAddrReady(st *MemOp, younger []*MemOp, t int64) StoreResult {
-	s.c.Inc("hl_lq")
+	*s.cHLLQ++
 	if st.LowLoc {
-		s.c.Inc("roundtrip")
+		*s.cRoundtrip++
 	}
 	if ld := FindViolation(st, younger, t); ld != nil {
 		return StoreResult{Violation: true, ViolatingLoad: ld}
@@ -75,11 +81,16 @@ type Conventional struct {
 	// NoLQ removes the associative load queue (SVW composition).
 	NoLQ bool
 	c    *stats.Counters
+
+	cHLSQ, cHLLQ *uint64
 }
 
 // NewConventional builds the OoO-64 queue model.
 func NewConventional(noLQ bool) *Conventional {
-	return &Conventional{NoLQ: noLQ, c: stats.NewCounters()}
+	s := &Conventional{NoLQ: noLQ, c: stats.NewCounters()}
+	s.cHLSQ = s.c.Handle("hl_sq")
+	s.cHLLQ = s.c.Handle("hl_lq")
+	return s
 }
 
 // Name implements Scheme.
@@ -92,7 +103,7 @@ func (s *Conventional) Name() string {
 
 // LoadIssue implements Scheme.
 func (s *Conventional) LoadIssue(ld *MemOp, ix *StoreIndex, t int64) LoadResult {
-	s.c.Inc("hl_sq")
+	*s.cHLSQ++
 	match, _ := FindForward(ld, ix.Candidates(ld, t), t)
 	ld.UnresolvedOlderStore = ix.Unresolved(ld, t)
 	return Resolve(ld, match, t)
@@ -103,7 +114,7 @@ func (s *Conventional) StoreAddrReady(st *MemOp, younger []*MemOp, t int64) Stor
 	if s.NoLQ {
 		return StoreResult{} // violations caught by commit-time re-execution
 	}
-	s.c.Inc("hl_lq")
+	*s.cHLLQ++
 	if ld := FindViolation(st, younger, t); ld != nil {
 		return StoreResult{Violation: true, ViolatingLoad: ld}
 	}

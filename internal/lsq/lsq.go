@@ -57,6 +57,11 @@ type MemOp struct {
 	// forwarded from (0 = read the cache). SVW starts the load's
 	// vulnerability window after this store.
 	ForwardedFrom uint64
+
+	// blockNext chains stores of the same 8-byte block inside the
+	// StoreIndex, youngest first. Intrusive linking keeps the per-store
+	// path of the index allocation-free.
+	blockNext *MemOp
 }
 
 // InFlightAt reports whether the op still occupies its queue at cycle t.

@@ -167,8 +167,10 @@ func TestStoreIndexCompaction(t *testing.T) {
 		ix.Add(s)
 	}
 	total := 0
-	for _, v := range ix.byBlock {
-		total += len(v)
+	for _, v := range ix.buckets {
+		for st := v; st != nil; st = st.blockNext {
+			total++
+		}
 	}
 	if total > 40000 {
 		t.Errorf("index retained %d entries after compaction", total)

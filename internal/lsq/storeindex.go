@@ -11,8 +11,21 @@ package lsq
 // only hardware-visible state by filtering on AddrReady and Commit against
 // the query cycle, except CandidatesOracle, which the pipeline model uses to
 // detect true ordering violations.
+//
+// The index owns the store records' storage: the pipeline model obtains each
+// store's MemOp from NewOp and the index recycles it once compaction retires
+// it, and stores of one block are chained intrusively through the records
+// (youngest first), so the steady-state per-store path performs no heap
+// allocation. Candidate query results are returned in scratch slices owned
+// by the index and are only valid until the next call of the same query.
 type StoreIndex struct {
-	byBlock map[uint64][]*MemOp
+	// buckets is a fixed open-hash table of intrusive store chains,
+	// youngest first, indexed by hashed 8-byte block. Blocks that collide
+	// share a chain and are told apart by the per-op block check in the
+	// queries — pure array writes on Add, no map machinery on the
+	// per-store path. The table is sized so the live window (bounded by
+	// the compaction horizon) keeps chains near length one.
+	buckets []*MemOp
 	// lateAddr holds stores whose address resolves long after dispatch
 	// (the only ones that can be "unresolved" at a later load's issue,
 	// beyond the handful of just-dispatched stores tracked in recent).
@@ -22,29 +35,83 @@ type StoreIndex struct {
 	recent [16]*MemOp
 	rpos   int
 	adds   uint64
+	// maxDispatch is the largest dispatch cycle ever Added. Dropped entries
+	// always dispatched (and committed) far behind it, so it equals the
+	// maximum over the live entries, without a scan.
+	maxDispatch int64
+	// lateMax is the largest AddrReady ever appended to lateAddr. When it
+	// is <= the query time no lateAddr entry can satisfy AddrReady > t, so
+	// Unresolved skips the scan entirely — the common case once a phase's
+	// address-producing misses drain.
+	lateMax int64
+
+	// freeOps recycles MemOps dropped by compact. Entries dropped by
+	// compact committed at least a full horizon (1<<14 cycles) before the
+	// youngest dispatch, so they are long out of every query window and —
+	// being far older than the 16-entry recent ring — cannot alias a live
+	// reference.
+	freeOps []*MemOp
+
+	candScratch   []*MemOp
+	oracleScratch []*MemOp
 }
+
+// storeIndexBucketBits sizes the bucket table (1<<bits buckets). The
+// compaction horizon bounds live stores to a few thousand, so chains stay
+// near length one.
+const storeIndexBucketBits = 14
 
 // NewStoreIndex returns an empty index.
 func NewStoreIndex() *StoreIndex {
-	return &StoreIndex{byBlock: make(map[uint64][]*MemOp)}
+	return &StoreIndex{buckets: make([]*MemOp, 1<<storeIndexBucketBits)}
 }
 
 func blockOf(addr uint64) uint64 { return addr >> 3 }
+
+// bucketOf hashes a block to its bucket (Fibonacci hashing).
+func bucketOf(b uint64) int {
+	return int((b * 0x9E3779B97F4A7C15) >> (64 - storeIndexBucketBits))
+}
+
+// NewOp returns a zeroed MemOp for a store that will be Added to the index.
+// The record is recycled after the store retires from the index; callers
+// must not retain it past that point (the simulator's program-order
+// processing guarantees this: all uses of a store finish within its
+// in-flight window).
+func (ix *StoreIndex) NewOp() *MemOp {
+	if n := len(ix.freeOps); n > 0 {
+		op := ix.freeOps[n-1]
+		ix.freeOps = ix.freeOps[:n-1]
+		*op = MemOp{}
+		return op
+	}
+	return &MemOp{}
+}
 
 // Add registers a processed store (all its times already computed).
 func (ix *StoreIndex) Add(st *MemOp) {
 	if !st.Store {
 		panic("lsq: StoreIndex.Add of a load")
 	}
-	b := blockOf(st.Addr)
-	ix.byBlock[b] = append(ix.byBlock[b], st)
+	i := bucketOf(blockOf(st.Addr))
+	st.blockNext = ix.buckets[i]
+	ix.buckets[i] = st
+	if st.Dispatch > ix.maxDispatch {
+		ix.maxDispatch = st.Dispatch
+	}
 	if st.AddrReady > st.Dispatch+8 {
 		ix.lateAddr = append(ix.lateAddr, st)
+		if st.AddrReady > ix.lateMax {
+			ix.lateMax = st.AddrReady
+		}
 	}
 	ix.recent[ix.rpos] = st
 	ix.rpos = (ix.rpos + 1) % len(ix.recent)
 	ix.adds++
-	if ix.adds%4096 == 0 {
+	// Compact often enough that per-block chains stay short: the criterion
+	// is purely horizon-based, so a higher frequency only retires entries
+	// the moment they become eligible and never changes query results.
+	if ix.adds%1024 == 0 {
 		ix.compact()
 	}
 }
@@ -53,68 +120,98 @@ func (ix *StoreIndex) Add(st *MemOp) {
 // window size. An entry is dropped only when its commit is far behind the
 // youngest dispatch, so slightly out-of-order query times remain safe.
 func (ix *StoreIndex) compact() {
-	var horizon int64
-	for _, sts := range ix.byBlock {
-		for _, st := range sts {
-			if st.Dispatch > horizon {
-				horizon = st.Dispatch
-			}
+	horizon := ix.maxDispatch - 1<<14
+	for i, head := range ix.buckets {
+		if head == nil {
+			continue
 		}
-	}
-	horizon -= 1 << 14
-	for b, sts := range ix.byBlock {
-		kept := sts[:0]
-		for _, st := range sts {
+		var kept, tail *MemOp
+		for st := head; st != nil; {
+			next := st.blockNext
 			if st.Commit == 0 || st.Commit > horizon {
-				kept = append(kept, st)
+				if tail == nil {
+					kept = st
+				} else {
+					tail.blockNext = st
+				}
+				tail = st
+				st.blockNext = nil
+			} else {
+				st.blockNext = nil
+				ix.freeOps = append(ix.freeOps, st)
 			}
+			st = next
 		}
-		if len(kept) == 0 {
-			delete(ix.byBlock, b)
-		} else {
-			ix.byBlock[b] = kept
-		}
+		ix.buckets[i] = kept
 	}
+	// A late-address store stays relevant to Unresolved only while its
+	// address could still be unknown at a feasible query time: queries run
+	// at most a horizon behind the youngest dispatch, so once AddrReady
+	// falls behind the horizon the entry can never report true again and
+	// the per-load scan stays short.
 	keptLate := ix.lateAddr[:0]
+	ix.lateMax = 0
 	for _, st := range ix.lateAddr {
-		if st.Commit == 0 || st.Commit > horizon {
+		if (st.Commit == 0 || st.Commit > horizon) && st.AddrReady > horizon {
 			keptLate = append(keptLate, st)
+			if st.AddrReady > ix.lateMax {
+				ix.lateMax = st.AddrReady
+			}
 		}
 	}
 	ix.lateAddr = keptLate
 }
 
 // Candidates returns the older stores overlapping ld that are in flight at
-// t with addresses known to the hardware by t, ascending by age.
+// t with addresses known to the hardware by t, ascending by age. The
+// returned slice is scratch storage owned by the index, valid until the
+// next Candidates call.
 func (ix *StoreIndex) Candidates(ld *MemOp, t int64) []*MemOp {
-	var out []*MemOp
-	for _, st := range ix.byBlock[blockOf(ld.Addr)] {
-		if st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady <= t && st.Overlaps(ld) {
+	out := ix.candScratch[:0]
+	b := blockOf(ld.Addr)
+	for st := ix.buckets[bucketOf(b)]; st != nil; st = st.blockNext {
+		if blockOf(st.Addr) == b && st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady <= t && st.Overlaps(ld) {
 			out = append(out, st)
 		}
 	}
+	reverseOps(out)
+	ix.candScratch = out
 	return out
+}
+
+// reverseOps flips a chain walk (youngest first) into ascending age.
+func reverseOps(ops []*MemOp) {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
 }
 
 // CandidatesOracle returns every older in-flight store overlapping ld at t
 // regardless of address resolution — the ground truth the pipeline model
-// uses to detect store→load ordering violations.
+// uses to detect store→load ordering violations. The returned slice is
+// scratch storage owned by the index, valid until the next
+// CandidatesOracle call.
 func (ix *StoreIndex) CandidatesOracle(ld *MemOp, t int64) []*MemOp {
-	var out []*MemOp
-	for _, st := range ix.byBlock[blockOf(ld.Addr)] {
-		if st.Seq < ld.Seq && st.InFlightAt(t) && st.Overlaps(ld) {
+	out := ix.oracleScratch[:0]
+	b := blockOf(ld.Addr)
+	for st := ix.buckets[bucketOf(b)]; st != nil; st = st.blockNext {
+		if blockOf(st.Addr) == b && st.Seq < ld.Seq && st.InFlightAt(t) && st.Overlaps(ld) {
 			out = append(out, st)
 		}
 	}
+	reverseOps(out)
+	ix.oracleScratch = out
 	return out
 }
 
 // Unresolved reports whether any store older than ld and in flight at t had
 // an unknown address at t (the no-unresolved-store-filter input).
 func (ix *StoreIndex) Unresolved(ld *MemOp, t int64) bool {
-	for _, st := range ix.lateAddr {
-		if st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady > t {
-			return true
+	if ix.lateMax > t {
+		for _, st := range ix.lateAddr {
+			if st.Seq < ld.Seq && st.InFlightAt(t) && st.AddrReady > t {
+				return true
+			}
 		}
 	}
 	for _, st := range ix.recent {

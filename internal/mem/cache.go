@@ -11,24 +11,40 @@ import (
 	"repro/internal/config"
 )
 
-// line is one cache line's bookkeeping.
+// line is one cache line's bookkeeping, packed to 16 bytes so a 4-way set
+// probe touches a single cache line of host memory: the simulated L2 alone
+// spans megabytes, and the warm-up loop is bound by misses on this array.
 type line struct {
-	tag     uint64
-	valid   bool
-	lastUse uint64
+	// tagv holds tag<<1 | valid.
+	tagv uint64
+	// use is the last-use tick for LRU (see Cache.useClock).
+	use uint32
 	// locks counts active ERT references pinning this line (line-based ERT
 	// only). A line with locks > 0 is never replaced.
-	locks int
+	locks int32
 }
+
+func (l *line) valid() bool    { return l.tagv&1 != 0 }
+func mkTagv(tag uint64) uint64 { return tag<<1 | 1 }
 
 // Cache is a single set-associative cache level with LRU replacement and
 // line locking.
 type Cache struct {
-	cfg      config.CacheConfig
-	sets     [][]line
+	cfg config.CacheConfig
+	// lines is the flat set-major line array: set s occupies
+	// lines[s*ways : (s+1)*ways]. Flat indexing keeps a probe to one
+	// bounds check and no slice-header hop.
+	lines    []line
+	ways     int
 	setShift uint // log2(line bytes)
+	tagShift uint // log2(line bytes * set count)
 	setMask  uint64
-	useClock uint64
+	// useClock ticks per access for LRU ordering. It is renormalised when
+	// it would wrap uint32 (every ~4.3G accesses): all use ticks shift
+	// down by 2^31 with saturation, which preserves replacement order
+	// except among lines idle for over two billion accesses, where ties
+	// break deterministically by way index.
+	useClock uint32
 	// Accesses and Misses count every lookup and every miss.
 	Accesses, Misses uint64
 }
@@ -43,15 +59,13 @@ func NewCache(cfg config.CacheConfig) *Cache {
 	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
 		panic(fmt.Sprintf("mem: line size %d must be a power of two", cfg.LineBytes))
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	setShift := uint(bits.TrailingZeros(uint(cfg.LineBytes)))
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
-		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		lines:    make([]line, nsets*cfg.Ways),
+		ways:     cfg.Ways,
+		setShift: setShift,
+		tagShift: setShift + uint(bits.TrailingZeros(uint(nsets))),
 		setMask:  uint64(nsets - 1),
 	}
 }
@@ -62,8 +76,9 @@ func (c *Cache) Config() config.CacheConfig { return c.cfg }
 // setIndex returns the set holding addr.
 func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.setShift) & c.setMask }
 
-// tagOf returns the tag of addr.
-func (c *Cache) tagOf(addr uint64) uint64 { return (addr >> c.setShift) / uint64(len(c.sets)) }
+// tagOf returns the tag of addr. The set count is a power of two (enforced
+// by NewCache), so the division is a shift.
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.tagShift }
 
 // LineSlot identifies a physical line (set, way) for the line-based ERT.
 type LineSlot struct {
@@ -74,15 +89,15 @@ type LineSlot struct {
 func (c *Cache) SlotIndex(s LineSlot) int { return s.Set*c.cfg.Ways + s.Way }
 
 // NumSlots returns the number of physical lines.
-func (c *Cache) NumSlots() int { return len(c.sets) * c.cfg.Ways }
+func (c *Cache) NumSlots() int { return len(c.lines) }
 
 // Lookup probes the cache without allocating. It returns the slot on hit.
 func (c *Cache) Lookup(addr uint64) (LineSlot, bool) {
 	set := int(c.setIndex(addr))
-	tag := c.tagOf(addr)
-	for w := range c.sets[set] {
-		l := &c.sets[set][w]
-		if l.valid && l.tag == tag {
+	tagv := mkTagv(c.tagOf(addr))
+	base := set * c.ways
+	for w, l := range c.lines[base : base+c.ways] {
+		if l.tagv == tagv {
 			return LineSlot{Set: set, Way: w}, true
 		}
 	}
@@ -94,14 +109,37 @@ func (c *Cache) Lookup(addr uint64) (LineSlot, bool) {
 // explicit.
 func (c *Cache) Access(addr uint64) (LineSlot, bool) {
 	c.Accesses++
-	c.useClock++
-	slot, hit := c.Lookup(addr)
-	if hit {
-		c.sets[slot.Set][slot.Way].lastUse = c.useClock
-		return slot, true
+	c.tick()
+	set := int(c.setIndex(addr))
+	tagv := mkTagv(c.tagOf(addr))
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways]
+	for w := range ways {
+		l := &ways[w]
+		if l.tagv == tagv {
+			l.use = c.useClock
+			return LineSlot{Set: set, Way: w}, true
+		}
 	}
 	c.Misses++
 	return LineSlot{}, false
+}
+
+// tick advances the LRU clock, renormalising on uint32 wrap.
+func (c *Cache) tick() {
+	c.useClock++
+	if c.useClock == ^uint32(0) {
+		const down = 1 << 31
+		for i := range c.lines {
+			l := &c.lines[i]
+			if l.use > down {
+				l.use -= down
+			} else {
+				l.use = 0
+			}
+		}
+		c.useClock -= down
+	}
 }
 
 // Allocate fills addr's line, evicting the LRU unlocked line. It returns the
@@ -109,45 +147,60 @@ func (c *Cache) Access(addr uint64) (LineSlot, bool) {
 // overflow case the paper resolves by stalling or squashing).
 func (c *Cache) Allocate(addr uint64) (LineSlot, bool) {
 	set := int(c.setIndex(addr))
-	tag := c.tagOf(addr)
-	c.useClock++
+	tagv := mkTagv(c.tagOf(addr))
+	c.tick()
+	ways := c.lines[set*c.ways : set*c.ways+c.ways]
 	// Already present (e.g. racing fill): refresh.
-	for w := range c.sets[set] {
-		l := &c.sets[set][w]
-		if l.valid && l.tag == tag {
-			l.lastUse = c.useClock
+	for w := range ways {
+		l := &ways[w]
+		if l.tagv == tagv {
+			l.use = c.useClock
 			return LineSlot{Set: set, Way: w}, true
 		}
 	}
+	return c.fill(set, tagv, ways)
+}
+
+// allocateMissed is Allocate for a caller that just observed a miss on addr
+// with no intervening cache operations: the presence re-probe is skipped.
+func (c *Cache) allocateMissed(addr uint64) (LineSlot, bool) {
+	set := int(c.setIndex(addr))
+	tagv := mkTagv(c.tagOf(addr))
+	c.tick()
+	return c.fill(set, tagv, c.lines[set*c.ways:set*c.ways+c.ways])
+}
+
+// fill victimises the LRU unlocked way of the set and installs tagv.
+func (c *Cache) fill(set int, tagv uint64, ways []line) (LineSlot, bool) {
 	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for w := range c.sets[set] {
-		l := &c.sets[set][w]
+	var oldest uint32 = ^uint32(0)
+	for w := range ways {
+		l := &ways[w]
 		if l.locks > 0 {
 			continue
 		}
-		if !l.valid {
+		if !l.valid() {
 			victim = w
 			break
 		}
-		if l.lastUse < oldest {
-			oldest = l.lastUse
+		if l.use < oldest {
+			oldest = l.use
 			victim = w
 		}
 	}
 	if victim < 0 {
 		return LineSlot{}, false // all ways locked
 	}
-	c.sets[set][victim] = line{tag: tag, valid: true, lastUse: c.useClock}
+	ways[victim] = line{tagv: tagv, use: c.useClock}
 	return LineSlot{Set: set, Way: victim}, true
 }
 
 // Lock pins the line at slot against replacement. Locks nest.
-func (c *Cache) Lock(s LineSlot) { c.sets[s.Set][s.Way].locks++ }
+func (c *Cache) Lock(s LineSlot) { c.lines[s.Set*c.ways+s.Way].locks++ }
 
 // Unlock releases one lock on the line at slot.
 func (c *Cache) Unlock(s LineSlot) {
-	l := &c.sets[s.Set][s.Way]
+	l := &c.lines[s.Set*c.ways+s.Way]
 	if l.locks <= 0 {
 		panic("mem: unlock of unlocked line")
 	}
@@ -155,14 +208,14 @@ func (c *Cache) Unlock(s LineSlot) {
 }
 
 // Locked reports whether the line at slot has any active locks.
-func (c *Cache) Locked(s LineSlot) bool { return c.sets[s.Set][s.Way].locks > 0 }
+func (c *Cache) Locked(s LineSlot) bool { return c.lines[s.Set*c.ways+s.Way].locks > 0 }
 
 // LockedInSet returns how many ways of addr's set are currently locked.
 func (c *Cache) LockedInSet(addr uint64) int {
 	set := int(c.setIndex(addr))
 	n := 0
-	for w := range c.sets[set] {
-		if c.sets[set][w].locks > 0 {
+	for w := 0; w < c.ways; w++ {
+		if c.lines[set*c.ways+w].locks > 0 {
 			n++
 		}
 	}

@@ -59,11 +59,11 @@ func (h *Hierarchy) Access(addr uint64) (Level, int) {
 		return LevelL1, h.l1Lat
 	}
 	if _, hit := h.L2.Access(addr); hit {
-		h.L1.Allocate(addr)
+		h.L1.allocateMissed(addr)
 		return LevelL2, h.l2Lat
 	}
-	h.L2.Allocate(addr)
-	h.L1.Allocate(addr)
+	h.L2.allocateMissed(addr)
+	h.L1.allocateMissed(addr)
 	return LevelMem, h.memLat
 }
 

@@ -9,18 +9,26 @@ package sched
 // onto them, so reservation times may be moderately out of order as long as
 // the spread stays below the horizon.
 type Calendar struct {
-	width uint16
-	cycle []int64
-	used  []uint16
+	width uint64
+	slots []uint64
 	mask  int64
 }
+
+// Each ring slot packs the cycle currently mapped onto it (upper 56 bits)
+// and the number of reservations booked there (lower 8 bits) into one
+// word: a Reserve probe reads and writes a single 8-byte location, and the
+// whole ring is half the size of a two-field layout — the probe loop is
+// the hottest line of the simulator and is effectively bound by cache
+// misses on this array.
+const calUsedBits = 8
 
 // NewCalendar returns a calendar admitting width events per cycle with the
 // given horizon (rounded up to a power of two). The horizon must exceed the
 // maximum spread between in-flight reservation times; the pipeline model's
-// spread is bounded by the instruction window lifetime.
+// spread is bounded by the instruction window lifetime. Width is capped at
+// 255 by the packed slot layout — far above any modelled issue width.
 func NewCalendar(width, horizon int) *Calendar {
-	if width <= 0 || horizon <= 0 {
+	if width <= 0 || horizon <= 0 || width > 1<<calUsedBits-1 {
 		panic("sched: invalid calendar geometry")
 	}
 	n := 1
@@ -28,9 +36,8 @@ func NewCalendar(width, horizon int) *Calendar {
 		n <<= 1
 	}
 	return &Calendar{
-		width: uint16(width),
-		cycle: make([]int64, n),
-		used:  make([]uint16, n),
+		width: uint64(width),
+		slots: make([]uint64, n),
 		mask:  int64(n - 1),
 	}
 }
@@ -41,13 +48,12 @@ func (c *Calendar) Reserve(t int64) int64 {
 		t = 0
 	}
 	for {
-		i := t & c.mask
-		if c.cycle[i] != t {
-			c.cycle[i] = t
-			c.used[i] = 0
+		s := &c.slots[t&c.mask]
+		if *s>>calUsedBits != uint64(t) {
+			*s = uint64(t) << calUsedBits
 		}
-		if c.used[i] < c.width {
-			c.used[i]++
+		if *s&(1<<calUsedBits-1) < c.width {
+			*s++
 			return t
 		}
 		t++
@@ -88,5 +94,10 @@ func (r *Ring) Push(release int64) {
 		return
 	}
 	r.times[r.pos] = release
-	r.pos = (r.pos + 1) % len(r.times)
+	// Branch instead of modulo: capacities are rarely powers of two and
+	// this runs several times per simulated instruction.
+	r.pos++
+	if r.pos == len(r.times) {
+		r.pos = 0
+	}
 }

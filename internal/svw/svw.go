@@ -28,17 +28,22 @@ type Engine struct {
 	commitAt []int64
 	bits     int
 	c        *stats.Counters
+
+	cReexec, cReexecFiltered *uint64
 }
 
 // New builds an SVW engine with a 2^bits-entry SSBF.
 func New(bits int, variant config.SVWVariant) *Engine {
-	return &Engine{
+	e := &Engine{
 		ssbf:     filter.NewSSBF(bits),
 		variant:  variant,
 		commitAt: make([]int64, 1<<uint(bits)),
 		bits:     bits,
 		c:        stats.NewCounters(),
 	}
+	e.cReexec = e.c.Handle("reexec")
+	e.cReexecFiltered = e.c.Handle("reexec_filtered")
+	return e
 }
 
 // Variant returns the configured filtering variant.
@@ -77,9 +82,9 @@ func (e *Engine) LoadCommitting(ld *lsq.MemOp) bool {
 		return false // forwarded from that store (or younger): value is current
 	}
 	if e.variant == config.SVWCheckStores && !ld.UnresolvedOlderStore {
-		e.c.Inc("reexec_filtered")
+		*e.cReexecFiltered++
 		return false
 	}
-	e.c.Inc("reexec")
+	*e.cReexec++
 	return true
 }

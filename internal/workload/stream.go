@@ -1,0 +1,120 @@
+package workload
+
+// A Stream is a pre-generated committed-path instruction trace of one
+// (benchmark, seed). Generating the synthetic stream costs real time per
+// instruction (kernel emission, RNG draws); when the same point is
+// simulated repeatedly — across schemes in a benchmark matrix, across
+// repetitions of a measurement, across sweep axes that leave the workload
+// unchanged — recording it once and replaying a slice turns that cost into
+// a memcpy. Replays are bit-identical to a live Generator: the committed
+// path is the recorded trace and every Replay starts from a snapshot of
+// the generator's initial wrong-path state, so speculation re-synthesises
+// the exact wrong-path stream a fresh Generator would produce.
+
+import "repro/internal/isa"
+
+// Stream is an immutable recorded committed-path prefix of one benchmark
+// instantiation. It is safe for concurrent Source calls: each Replay holds
+// all mutable state.
+type Stream struct {
+	prof   Profile
+	seed   uint64
+	insts  []isa.Inst
+	wpInit wpSynth
+}
+
+// NewStream records the first n committed-path instructions of the
+// benchmark under the given seed. Size n to the full simulation budget
+// (WarmupInsts + MaxInsts); a Replay that runs past the recording falls
+// back to live generation, which is correct but pays a one-time
+// fast-forward of the whole recording.
+func NewStream(p Profile, seed uint64, n uint64) *Stream {
+	g := p.New(seed)
+	s := &Stream{prof: p, seed: seed, wpInit: g.wpSynth}
+	s.insts = make([]isa.Inst, n)
+	for i := range s.insts {
+		g.Next(&s.insts[i])
+	}
+	return s
+}
+
+// Name returns the benchmark name.
+func (s *Stream) Name() string { return s.prof.Name }
+
+// Suite returns the benchmark's suite.
+func (s *Stream) Suite() Suite { return s.prof.Suite }
+
+// Len returns the number of recorded instructions.
+func (s *Stream) Len() int { return len(s.insts) }
+
+// Source returns a fresh Replay positioned at the start of the stream,
+// with the wrong-path synthesiser in the same state a new Generator's
+// would be.
+func (s *Stream) Source() *Replay {
+	return &Replay{wpSynth: s.wpInit, s: s}
+}
+
+// Replay serves a Stream as a Source. It maintains its own wrong-path
+// synthesiser and recent-address ring, so concurrently running Replays of
+// one Stream do not interact.
+type Replay struct {
+	wpSynth
+	s   *Stream
+	pos int
+	// over generates instructions past the recorded prefix (lazily built).
+	over *Generator
+}
+
+// Name implements Source.
+func (r *Replay) Name() string { return r.s.prof.Name }
+
+// Suite implements Source.
+func (r *Replay) Suite() Suite { return r.s.prof.Suite }
+
+// Next implements Source.
+func (r *Replay) Next(out *isa.Inst) {
+	if r.pos < len(r.s.insts) {
+		*out = r.s.insts[r.pos]
+		r.pos++
+		if out.IsMem() {
+			r.noteMem(out.Addr)
+		}
+		return
+	}
+	if r.over == nil {
+		// The recording ran out: rebuild the generator and fast-forward
+		// past the recorded prefix. Committed-path determinism is
+		// preserved; the cost is proportional to the prefix length.
+		r.over = r.s.prof.New(r.s.seed)
+		var tmp isa.Inst
+		for i := 0; i < len(r.s.insts); i++ {
+			r.over.Next(&tmp)
+		}
+	}
+	r.over.Next(out)
+	if out.IsMem() {
+		r.noteMem(out.Addr)
+	}
+}
+
+// Warmup implements Source by walking the recorded trace in place.
+func (r *Replay) Warmup(n uint64, access func(addr uint64)) {
+	for n > 0 && r.pos < len(r.s.insts) {
+		in := &r.s.insts[r.pos]
+		r.pos++
+		n--
+		if in.IsMem() {
+			r.noteMem(in.Addr)
+			access(in.Addr)
+		}
+	}
+	if n > 0 {
+		var in isa.Inst
+		for i := uint64(0); i < n; i++ {
+			r.Next(&in)
+			if in.IsMem() {
+				access(in.Addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestReplayMatchesGenerator pins the Stream/Replay contract: a Replay
+// must be indistinguishable from a fresh Generator — same committed
+// stream, same wrong-path stream (including its dependence on recently
+// committed addresses), and identical behaviour past the recorded prefix.
+func TestReplayMatchesGenerator(t *testing.T) {
+	prof, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const recorded = 5_000
+	stream := NewStream(prof, 7, recorded)
+	if stream.Len() != recorded || stream.Name() != "gcc" || stream.Suite() != SuiteInt {
+		t.Fatalf("stream metadata wrong: %d %q", stream.Len(), stream.Name())
+	}
+
+	gen := prof.New(7)
+	rep := stream.Source()
+	var a, b isa.Inst
+	// Interleave committed and wrong-path reads, crossing the recorded
+	// boundary to exercise the live-generation fallback.
+	for i := 0; i < recorded+2_000; i++ {
+		gen.Next(&a)
+		rep.Next(&b)
+		if a != b {
+			t.Fatalf("committed inst %d diverges: %+v vs %+v", i, a, b)
+		}
+		if i%37 == 0 {
+			gen.WrongPath(&a)
+			rep.WrongPath(&b)
+			if a != b {
+				t.Fatalf("wrong-path inst at %d diverges: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestReplaySourcesIndependent: two Replays of one Stream must not share
+// mutable state.
+func TestReplaySourcesIndependent(t *testing.T) {
+	prof, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := NewStream(prof, 1, 1_000)
+	r1, r2 := stream.Source(), stream.Source()
+	var a, b isa.Inst
+	for i := 0; i < 500; i++ {
+		r1.Next(&a)
+	}
+	// r2 must still start from the beginning, with identical wrong-path
+	// state to a fresh source.
+	r2.Next(&b)
+	fresh := stream.Source()
+	fresh.Next(&a)
+	if a != b {
+		t.Fatalf("second source does not start fresh: %+v vs %+v", b, a)
+	}
+	r2.WrongPath(&b)
+	fresh2 := stream.Source()
+	fresh2.Next(&a)
+	fresh2.WrongPath(&a)
+	if a != b {
+		t.Fatalf("wrong-path state shared between sources: %+v vs %+v", b, a)
+	}
+}
+
+// TestWarmupEquivalentToNext pins the Source.Warmup contract for both
+// implementations: Warmup(n, f) must leave the source in exactly the state
+// n Next calls would, and deliver the same memory addresses.
+func TestWarmupEquivalentToNext(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func() Source
+	}{
+		{"generator", func() Source {
+			p, _ := ByName("equake")
+			return p.New(3)
+		}},
+		{"replay", func() Source {
+			p, _ := ByName("equake")
+			return NewStream(p, 3, 9_000).Source()
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			// Budget far beyond warmupSafety to exercise count mode, and
+			// deliberately not aligned to any batch size.
+			const n = 10_123
+			ref := mk.mk()
+			var refAddrs []uint64
+			var in isa.Inst
+			for i := 0; i < n; i++ {
+				ref.Next(&in)
+				if in.IsMem() {
+					refAddrs = append(refAddrs, in.Addr)
+				}
+			}
+			warm := mk.mk()
+			var warmAddrs []uint64
+			warm.Warmup(n, func(addr uint64) { warmAddrs = append(warmAddrs, addr) })
+			if len(refAddrs) != len(warmAddrs) {
+				t.Fatalf("warmup saw %d memory refs, Next saw %d", len(warmAddrs), len(refAddrs))
+			}
+			for i := range refAddrs {
+				if refAddrs[i] != warmAddrs[i] {
+					t.Fatalf("memory ref %d differs: %#x vs %#x", i, warmAddrs[i], refAddrs[i])
+				}
+			}
+			// Post-warm-up state must be identical: committed stream,
+			// sequence numbers and wrong-path synthesis all line up.
+			var a, b isa.Inst
+			for i := 0; i < 3_000; i++ {
+				ref.Next(&a)
+				warm.Next(&b)
+				if a != b {
+					t.Fatalf("inst %d after warm-up diverges: %+v vs %+v", i, a, b)
+				}
+				if i%29 == 0 {
+					ref.WrongPath(&a)
+					warm.WrongPath(&b)
+					if a != b {
+						t.Fatalf("wrong-path inst after warm-up diverges: %+v vs %+v", a, b)
+					}
+				}
+			}
+		})
+	}
+}

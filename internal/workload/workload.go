@@ -67,24 +67,114 @@ type kernel interface {
 	emit(g *Generator)
 }
 
+// Source is the instruction supply the pipeline model consumes: the
+// committed-path stream plus on-demand wrong-path synthesis. Generator
+// produces it live; Replay serves a pre-generated Stream.
+type Source interface {
+	// Name returns the benchmark name.
+	Name() string
+	// Suite returns the benchmark's suite.
+	Suite() Suite
+	// Next fills out with the next committed-path instruction.
+	Next(out *isa.Inst)
+	// WrongPath fills out with the next wrong-path instruction.
+	WrongPath(out *isa.Inst)
+	// Warmup advances the committed path by n instructions, invoking
+	// access for each memory reference. It is exactly equivalent to n
+	// Next calls that feed access(in.Addr) for memory instructions —
+	// cache warm-up without the per-instruction copy out of the stream.
+	Warmup(n uint64, access func(addr uint64))
+}
+
+// wpSynth synthesises the wrong-path stream from its own RNG (independent
+// of committed-path randomness, so speculation depth cannot perturb the
+// committed path) and a ring of recently committed memory addresses;
+// wrong-path fetch runs through the program's own neighbourhood, so
+// speculative accesses touch nearby lines (mild pollution, occasional
+// prefetch) rather than foreign memory. It is embedded by value in both
+// Generator and Replay: copying the struct snapshots the whole wrong-path
+// state, which is how a Stream hands every Replay an identical start state.
+type wpSynth struct {
+	rng         xrand.RNG
+	wpSeq       uint64
+	recentAddrs [16]uint64
+	recentPos   int
+	recentSeen  bool
+}
+
+// noteMem records a committed-path memory address in the recent ring.
+func (w *wpSynth) noteMem(addr uint64) {
+	w.recentAddrs[w.recentPos] = addr
+	w.recentPos = (w.recentPos + 1) % len(w.recentAddrs)
+	w.recentSeen = true
+}
+
+// wpAddr synthesises a wrong-path address: a recently touched address
+// perturbed by a few cache lines.
+func (w *wpSynth) wpAddr() uint64 {
+	if !w.recentSeen {
+		return align(w.rng.Uint64n(1<<20), 8)
+	}
+	base := w.recentAddrs[w.rng.Intn(len(w.recentAddrs))]
+	delta := int64(w.rng.Intn(17)-8) * 32 // within +-8 lines
+	a := int64(base) + delta
+	if a < 0 {
+		a = int64(base)
+	}
+	return align(uint64(a), 8)
+}
+
+// WrongPath fills out with a plausible wrong-path instruction: the mix a
+// fetch unit would stream in past a mispredicted branch — ALU ops plus loads
+// and stores to addresses near the benchmark's recent working set. These
+// consume pipeline and LSQ resources and are squashed at branch resolution.
+func (w *wpSynth) WrongPath(out *isa.Inst) {
+	*out = isa.Inst{WrongPath: true, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	r := w.rng.Float64()
+	switch {
+	case r < 0.22:
+		out.Op = isa.OpLoad
+		out.Addr = w.wpAddr()
+		out.Size = 8
+		out.Src1 = 0
+		out.Dst = int16(1 + w.rng.Intn(isa.NumIntRegs-1))
+	case r < 0.30:
+		out.Op = isa.OpStore
+		out.Addr = w.wpAddr()
+		out.Size = 8
+		out.Src1, out.Src2 = 0, 0
+	case r < 0.42:
+		out.Op = isa.OpBranch
+		out.Src1 = 0
+	default:
+		out.Op = isa.OpIntAlu
+		out.Src1 = 0
+		out.Dst = int16(1 + w.rng.Intn(isa.NumIntRegs-1))
+	}
+	out.Seq = 1<<63 | w.wpSeq // disjoint from committed-path sequence space
+	w.wpSeq++
+}
+
 // Generator produces the dynamic instruction stream of one benchmark.
 type Generator struct {
+	wpSynth
 	name  string
 	suite Suite
 	k     kernel
 	rng   *xrand.RNG // committed-path randomness
-	wpRng *xrand.RNG // wrong-path randomness (independent stream)
 	queue []isa.Inst
 	head  int
 	seq   uint64
-	wpSeq uint64
-	// recentAddrs remembers the last committed-path memory addresses;
-	// wrong-path fetch runs through the program's own neighbourhood, so
-	// speculative accesses touch nearby lines (mild pollution, occasional
-	// prefetch) rather than foreign memory.
-	recentAddrs [16]uint64
-	recentPos   int
-	recentSeen  bool
+	// warmAccess, when non-nil, puts emission into warm-up count mode:
+	// helpers skip the queue, count instructions in warmCount, and feed
+	// memory references straight to warmAccess. Randomness draws are
+	// unchanged, so the committed-path stream state evolves exactly as in
+	// normal emission. See Warmup.
+	warmAccess func(addr uint64)
+	warmCount  uint64
+	// warmScratch is the discard target of count-mode emission (one per
+	// generator: sweeps run generators concurrently).
+	warmScratch isa.Inst
 }
 
 // Name returns the benchmark name.
@@ -105,96 +195,157 @@ func (g *Generator) Next(out *isa.Inst) {
 	out.Seq = g.seq
 	g.seq++
 	if out.IsMem() {
-		g.recentAddrs[g.recentPos] = out.Addr
-		g.recentPos = (g.recentPos + 1) % len(g.recentAddrs)
-		g.recentSeen = true
+		g.noteMem(out.Addr)
 	}
 }
 
-// wpAddr synthesises a wrong-path address: a recently touched address
-// perturbed by a few cache lines.
-func (g *Generator) wpAddr() uint64 {
-	if !g.recentSeen {
-		return align(g.wpRng.Uint64n(1<<20), 8)
-	}
-	base := g.recentAddrs[g.wpRng.Intn(len(g.recentAddrs))]
-	delta := int64(g.wpRng.Intn(17)-8) * 32 // within +-8 lines
-	a := int64(base) + delta
-	if a < 0 {
-		a = int64(base)
-	}
-	return align(uint64(a), 8)
-}
+// warmupSafety bounds the emission-batch size count mode relies on: while
+// more than this many warm-up instructions remain, a whole batch can be
+// consumed without crossing the budget boundary. Kernel batches are tens
+// of instructions; the margin is two orders above that and overshoot is a
+// hard error, so the budget accounting can never silently drift.
+const warmupSafety = 4096
 
-// WrongPath fills out with a plausible wrong-path instruction: the mix a
-// fetch unit would stream in past a mispredicted branch — ALU ops plus loads
-// and stores to addresses near the benchmark's recent working set. These
-// consume pipeline and LSQ resources and are squashed at branch resolution.
-func (g *Generator) WrongPath(out *isa.Inst) {
-	*out = isa.Inst{WrongPath: true, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
-	r := g.wpRng.Float64()
-	switch {
-	case r < 0.22:
-		out.Op = isa.OpLoad
-		out.Addr = g.wpAddr()
-		out.Size = 8
-		out.Src1 = 0
-		out.Dst = int16(1 + g.wpRng.Intn(isa.NumIntRegs-1))
-	case r < 0.30:
-		out.Op = isa.OpStore
-		out.Addr = g.wpAddr()
-		out.Size = 8
-		out.Src1, out.Src2 = 0, 0
-	case r < 0.42:
-		out.Op = isa.OpBranch
-		out.Src1 = 0
-	default:
-		out.Op = isa.OpIntAlu
-		out.Src1 = 0
-		out.Dst = int16(1 + g.wpRng.Intn(isa.NumIntRegs-1))
+// Warmup implements Source. Far from the budget boundary it runs emission
+// in count mode — instructions are tallied and memory references fed to
+// access without ever touching the queue; near the boundary it falls back
+// to queued emission walked one instruction at a time, leaving any surplus
+// queued for the measurement phase exactly as n Next calls would.
+func (g *Generator) Warmup(n uint64, access func(addr uint64)) {
+	// Drain instructions already emitted to the queue.
+	for n > 0 && g.head < len(g.queue) {
+		in := &g.queue[g.head]
+		g.head++
+		g.seq++
+		n--
+		if in.IsMem() {
+			g.noteMem(in.Addr)
+			access(in.Addr)
+		}
 	}
-	out.Seq = 1<<63 | g.wpSeq // disjoint from committed-path sequence space
-	g.wpSeq++
+	// Count-mode emission for the bulk of the budget.
+	if n > warmupSafety {
+		g.warmAccess = access
+		for n > warmupSafety {
+			g.warmCount = 0
+			g.k.emit(g)
+			if g.warmCount > n {
+				panic("workload: warm-up emission batch overshot the budget")
+			}
+			n -= g.warmCount
+			g.seq += g.warmCount
+		}
+		g.warmAccess = nil
+	}
+	// Tail: queued emission, per-instruction walk.
+	for i := uint64(0); i < n; i++ {
+		for g.head >= len(g.queue) {
+			g.queue = g.queue[:0]
+			g.head = 0
+			g.k.emit(g)
+		}
+		in := &g.queue[g.head]
+		g.head++
+		g.seq++
+		if in.IsMem() {
+			g.noteMem(in.Addr)
+			access(in.Addr)
+		}
+	}
 }
 
 // --- emission helpers used by kernels ---
 
-func (g *Generator) push(in isa.Inst) { g.queue = append(g.queue, in) }
+// emitSlot extends the queue by one zeroed instruction and returns it, so
+// helpers write fields in place — the emission path runs once per dynamic
+// instruction and a build-then-copy literal costs two extra 32-byte moves.
+func (g *Generator) emitSlot() *isa.Inst {
+	if g.warmAccess != nil {
+		// Warm-up count mode: hand out a scratch slot; the caller's writes
+		// are discarded. Memory and branch helpers handle their own
+		// accounting before reaching here.
+		g.warmCount++
+		g.warmScratch = isa.Inst{}
+		return &g.warmScratch
+	}
+	g.queue = append(g.queue, isa.Inst{})
+	return &g.queue[len(g.queue)-1]
+}
+
+func (g *Generator) push(in isa.Inst) {
+	if g.warmAccess != nil {
+		g.warmCount++
+		if in.IsMem() {
+			g.noteMem(in.Addr)
+			g.warmAccess(in.Addr)
+		}
+		return
+	}
+	g.queue = append(g.queue, in)
+}
 
 // ialu emits dst <- op(src1, src2).
 func (g *Generator) ialu(dst, src1, src2 int16) {
-	g.push(isa.Inst{Op: isa.OpIntAlu, Dst: dst, Src1: src1, Src2: src2})
+	in := g.emitSlot()
+	in.Op = isa.OpIntAlu
+	in.Dst, in.Src1, in.Src2 = dst, src1, src2
 }
 
 // imul emits a multi-cycle integer op.
 func (g *Generator) imul(dst, src1, src2 int16) {
-	g.push(isa.Inst{Op: isa.OpIntMul, Dst: dst, Src1: src1, Src2: src2})
+	in := g.emitSlot()
+	in.Op = isa.OpIntMul
+	in.Dst, in.Src1, in.Src2 = dst, src1, src2
 }
 
 // falu and fmul emit floating-point ops.
 func (g *Generator) falu(dst, src1, src2 int16) {
-	g.push(isa.Inst{Op: isa.OpFpAlu, Dst: dst, Src1: src1, Src2: src2})
+	in := g.emitSlot()
+	in.Op = isa.OpFpAlu
+	in.Dst, in.Src1, in.Src2 = dst, src1, src2
 }
 
 func (g *Generator) fmul(dst, src1, src2 int16) {
-	g.push(isa.Inst{Op: isa.OpFpMul, Dst: dst, Src1: src1, Src2: src2})
+	in := g.emitSlot()
+	in.Op = isa.OpFpMul
+	in.Dst, in.Src1, in.Src2 = dst, src1, src2
 }
 
 // load emits dst <- mem[addr], with addrSrc the address-producing register.
 func (g *Generator) load(dst, addrSrc int16, addr uint64, size uint8) {
-	g.push(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: addrSrc, Src2: isa.NoReg, Addr: addr, Size: size})
+	if g.warmAccess != nil {
+		g.warmCount++
+		g.noteMem(addr)
+		g.warmAccess(addr)
+		return
+	}
+	in := g.emitSlot()
+	in.Op = isa.OpLoad
+	in.Dst, in.Src1, in.Src2 = dst, addrSrc, isa.NoReg
+	in.Addr, in.Size = addr, size
 }
 
 // store emits mem[addr] <- dataSrc, with addrSrc the address producer.
 func (g *Generator) store(addrSrc, dataSrc int16, addr uint64, size uint8) {
-	g.push(isa.Inst{Op: isa.OpStore, Dst: isa.NoReg, Src1: addrSrc, Src2: dataSrc, Addr: addr, Size: size})
+	if g.warmAccess != nil {
+		g.warmCount++
+		g.noteMem(addr)
+		g.warmAccess(addr)
+		return
+	}
+	in := g.emitSlot()
+	in.Op = isa.OpStore
+	in.Dst, in.Src1, in.Src2 = isa.NoReg, addrSrc, dataSrc
+	in.Addr, in.Size = addr, size
 }
 
 // branch emits a conditional branch on condSrc; mispredicted with
 // probability p.
 func (g *Generator) branch(condSrc int16, p float64) {
-	g.push(isa.Inst{Op: isa.OpBranch, Dst: isa.NoReg, Src1: condSrc, Src2: isa.NoReg,
-		Taken: g.rng.Bool(0.5), Mispred: g.rng.Bool(p)})
+	in := g.emitSlot()
+	in.Op = isa.OpBranch
+	in.Dst, in.Src1, in.Src2 = isa.NoReg, condSrc, isa.NoReg
+	in.Taken, in.Mispred = g.rng.Bool(0.5), g.rng.Bool(p)
 }
 
 // align rounds addr down to a multiple of size.
@@ -213,13 +364,13 @@ type Profile struct {
 // New instantiates the benchmark's generator with the given seed.
 func (p Profile) New(seed uint64) *Generator {
 	r := xrand.New(seed ^ hashName(p.Name))
-	return &Generator{
-		name:  p.Name,
-		suite: p.Suite,
-		k:     p.build(r),
-		rng:   r,
-		wpRng: r.Fork(),
-	}
+	// Draw order matters for determinism: the kernel consumes committed-path
+	// randomness first, then the wrong-path stream is forked — exactly the
+	// construction order every recorded stream was produced with.
+	k := p.build(r)
+	g := &Generator{name: p.Name, suite: p.Suite, k: k, rng: r}
+	g.wpSynth.rng = *r.Fork()
+	return g
 }
 
 // hashName mixes the benchmark name into the seed so different benchmarks
