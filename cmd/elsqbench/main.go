@@ -9,6 +9,8 @@
 //	elsqbench -smoke -compare bench/baseline.json     # CI regression gate
 //	elsqbench -smoke -write-baseline bench/baseline.json
 //	elsqbench -compare old.json -enforce-throughput   # before/after on one host
+//	elsqbench -smoke -resume-check                    # ckpt-resumed == full digests
+//	elsqbench -ckpt-speedup                           # warm-up-sharing wall-clock win
 //
 // Regression semantics (see internal/bench): results digests and headline
 // metrics are deterministic and must match the baseline exactly on the
@@ -25,6 +27,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/bench"
+	"repro/internal/config"
 )
 
 func main() {
@@ -39,13 +42,27 @@ func main() {
 	tolThroughput := flag.Float64("tolerance-throughput", bench.DefaultTolerance().Throughput, "accepted fractional median-throughput loss")
 	enforceThroughput := flag.Bool("enforce-throughput", false, "fail on throughput loss beyond the band (same-host comparisons only)")
 	gcPercent := flag.Int("gcpercent", 200, "GOGC while measuring (simulation churns short-lived structures; <=0 keeps the default)")
+	resumeCheck := flag.Bool("resume-check", false, "run each point once full-warm-up and once checkpoint-resumed and fail on any results-digest mismatch (no throughput measurement)")
+	sampleIntervals := flag.Int("sample-intervals", 0, "measure each point in this many SimPoint-style intervals (0/1 = contiguous; changes results digests, so compare only against a baseline measured the same way)")
+	sampleBleed := flag.Uint64("sample-bleed", 0, "functional fast-forward instructions between sample intervals")
+	ckptSpeedup := flag.Bool("ckpt-speedup", false, "measure a 3-config sweep sharing one warm-up checkpoint vs three full warm-ups and print the wall-clock ratio")
+	speedupBench := flag.String("ckpt-speedup-bench", "swim", "benchmark for -ckpt-speedup")
 	flag.Parse()
 
 	if *gcPercent > 0 {
 		debug.SetGCPercent(*gcPercent)
 	}
 
+	if *ckptSpeedup {
+		runCkptSpeedup(*speedupBench)
+		return
+	}
+
 	points := bench.Matrix(*smoke)
+	for i := range points {
+		points[i].Config.SampleIntervals = *sampleIntervals
+		points[i].Config.SampleBleedInsts = *sampleBleed
+	}
 	if *pointFilter != "" {
 		re, err := regexp.Compile(*pointFilter)
 		if err != nil {
@@ -61,6 +78,11 @@ func main() {
 	}
 	if len(points) == 0 {
 		fatalf("no matrix points selected")
+	}
+
+	if *resumeCheck {
+		runResumeCheck(points)
+		return
 	}
 
 	results := make([]bench.PointResult, 0, len(points))
@@ -109,6 +131,59 @@ func main() {
 		}
 		fmt.Println("no regressions against", *compare)
 	}
+}
+
+// runResumeCheck verifies the checkpoint determinism contract over the
+// selected matrix points: resumed and full-warm-up digests must agree.
+func runResumeCheck(points []bench.Point) {
+	failed := false
+	for _, p := range points {
+		chk, err := p.VerifyResume()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "ok"
+		if !chk.OK() {
+			status = "MISMATCH"
+			failed = true
+		}
+		fmt.Printf("%-18s full %s (%.0f ms)  resumed %s (%.0f ms)  %s\n",
+			chk.Name, chk.FullDigest, float64(chk.FullNS)/1e6,
+			chk.ResumedDigest, float64(chk.ResumedNS)/1e6, status)
+	}
+	if failed {
+		fatalf("checkpoint-resumed results diverged from full-warm-up results")
+	}
+	fmt.Println("resume-check: all digests identical")
+}
+
+// runCkptSpeedup prints the headline warm-up-sharing numbers: a 3-config
+// sweep (hash ERT, line ERT, halved migrate threshold — non-warm-up axes)
+// at the smoke measurement budget under the full 2.5M-instruction warm-up.
+func runCkptSpeedup(benchName string) {
+	mk := func(mut func(*config.Config)) config.Config {
+		cfg := config.Default().WithBudget(config.SmokeMeasureInsts, 2_500_000)
+		if mut != nil {
+			mut(&cfg)
+		}
+		return cfg
+	}
+	res, err := bench.CheckpointSpeedup(benchName, 1, []config.Config{
+		mk(nil),
+		mk(func(c *config.Config) { c.ERT = config.ERTLine }),
+		mk(func(c *config.Config) { c.MigrateThreshold = 24 }),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("ckpt-speedup %s over %v (%d insts of full-warm-up work)\n", res.Bench, res.Configs, res.Insts)
+	fmt.Printf("  full warm-up x3:        %8.1f ms\n", float64(res.FullNS)/1e6)
+	fmt.Printf("  shared, built in-run:   %8.1f ms  (%.2fx)\n", float64(res.ColdNS)/1e6, res.ColdSpeedup())
+	fmt.Printf("  shared, from store:     %8.1f ms  (%.2fx)\n", float64(res.WarmNS)/1e6, res.WarmSpeedup())
+	if !res.Match {
+		fatalf("checkpoint-shared results diverged from full-warm-up results")
+	}
+	fmt.Println("  results bit-identical across all three sweeps")
 }
 
 func fatalf(format string, args ...any) {

@@ -4,9 +4,11 @@
 // trade-off of Figure 8(a).
 //
 //	go run ./examples/filtertuning
+//	go run ./examples/filtertuning -insts 2000 -warmup 5000   # smoke budget
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,13 +18,17 @@ import (
 	"repro/internal/workload"
 )
 
+var (
+	insts  = flag.Uint64("insts", 80_000, "measured instructions per simulation")
+	warmup = flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
+)
+
 func run(cfg config.Config, bench string) *cpu.Result {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.MaxInsts = 80_000
-	sim, err := cpu.New(cfg, prof.New(1))
+	sim, err := cpu.New(cfg.WithBudget(*insts, *warmup), prof.New(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,6 +36,7 @@ func run(cfg config.Config, bench string) *cpu.Result {
 }
 
 func main() {
+	flag.Parse()
 	benches := []string{"gcc", "applu", "gap"}
 	fmt.Println("Hash-ERT sizing (false positives per 100M insts, mean of",
 		benches, "):")

@@ -4,9 +4,11 @@
 // locality split (Figure 1's statistic) per benchmark.
 //
 //	go run ./examples/largewindow
+//	go run ./examples/largewindow -insts 2000 -warmup 5000   # smoke budget
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +18,10 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 80_000, "measured instructions per simulation")
+	warmup := flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
+	flag.Parse()
+
 	prof, err := workload.ByName("art")
 	if err != nil {
 		log.Fatal(err)
@@ -24,9 +30,8 @@ func main() {
 	fmt.Println("art (stream, heavy misses): IPC vs number of memory engines")
 	fmt.Printf("%8s %10s %8s\n", "epochs", "window", "IPC")
 	for _, n := range []int{1, 2, 4, 8, 16} {
-		cfg := config.Default()
+		cfg := config.Default().WithBudget(*insts, *warmup)
 		cfg.NumEpochs = n
-		cfg.MaxInsts = 80_000
 		sim, err := cpu.New(cfg, prof.New(1))
 		if err != nil {
 			log.Fatal(err)
@@ -41,8 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := config.Default()
-		cfg.MaxInsts = 60_000
+		cfg := config.Default().WithBudget(*insts, *warmup)
 		sim, err := cpu.New(cfg, p.New(1))
 		if err != nil {
 			log.Fatal(err)

@@ -4,9 +4,11 @@
 // forwarding on pointer-heavy integer code.
 //
 //	go run ./examples/pointerchase
+//	go run ./examples/pointerchase -insts 2000 -warmup 5000   # smoke budget
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,13 +17,17 @@ import (
 	"repro/internal/workload"
 )
 
+var (
+	insts  = flag.Uint64("insts", 80_000, "measured instructions per simulation")
+	warmup = flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
+)
+
 func run(cfg config.Config, bench string) *cpu.Result {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.MaxInsts = 80_000
-	sim, err := cpu.New(cfg, prof.New(1))
+	sim, err := cpu.New(cfg.WithBudget(*insts, *warmup), prof.New(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,6 +35,7 @@ func run(cfg config.Config, bench string) *cpu.Result {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("Restricted SAC (Section 5.5): stores must compute addresses in the")
 	fmt.Println("HL-LSQ; a store with a pointer-derived (miss-dependent) address")
 	fmt.Println("stalls migration behind it.")

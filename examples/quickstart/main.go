@@ -2,9 +2,11 @@
 // conventional 64-entry-ROB baseline, and print the headline comparison.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -insts 2000 -warmup 5000   # smoke budget
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,6 +16,10 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 100_000, "measured instructions per simulation")
+	warmup := flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
+	flag.Parse()
+
 	// Pick a memory-level-parallel benchmark: the swim-like stream kernel.
 	prof, err := workload.ByName("swim")
 	if err != nil {
@@ -21,13 +27,11 @@ func main() {
 	}
 
 	// The conventional baseline: 64-entry ROB, finite CAM LSQ.
-	baseline := config.OoO64()
-	baseline.MaxInsts = 100_000
+	baseline := config.OoO64().WithBudget(*insts, *warmup)
 
 	// The paper's system: FMC large-window processor with the ELSQ
 	// (hash-based ERT, Store Queue Mirror) — config.Default() is Table 1.
-	elsq := config.Default()
-	elsq.MaxInsts = 100_000
+	elsq := config.Default().WithBudget(*insts, *warmup)
 
 	for _, cfg := range []config.Config{baseline, elsq} {
 		sim, err := cpu.New(cfg, prof.New(1))

@@ -1,0 +1,39 @@
+// Package examples holds runnable demonstration programs. The smoke test
+// below builds and runs each one at a tiny instruction budget, so the
+// examples cannot silently rot as the internal APIs they showcase evolve —
+// they have no other test coverage.
+package examples
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	examples := []string{"quickstart", "largewindow", "pointerchase", "filtertuning"}
+	binDir := t.TempDir()
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+name)
+			build.Dir = "."
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s failed: %v\n%s", name, err, out)
+			}
+
+			var stdout, stderr bytes.Buffer
+			run := exec.Command(bin, "-insts", "1500", "-warmup", "4000")
+			run.Stdout = &stdout
+			run.Stderr = &stderr
+			if err := run.Run(); err != nil {
+				t.Fatalf("%s exited with %v\nstderr: %s", name, err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Errorf("%s produced no output", name)
+			}
+		})
+	}
+}

@@ -188,3 +188,45 @@ func TestCompare(t *testing.T) {
 		}
 	})
 }
+
+// TestVerifyResume gates the checkpoint determinism promise at the bench
+// layer: full-warm-up and checkpoint-resumed digests must agree.
+func TestVerifyResume(t *testing.T) {
+	p := newPoint(schemes()[0], workload.SuiteFP, Budget{Name: "tiny", Measure: 2_000, Warmup: 20_000})
+	chk, err := p.VerifyResume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.OK() {
+		t.Errorf("resumed digest %s != full digest %s", chk.ResumedDigest, chk.FullDigest)
+	}
+}
+
+// TestCheckpointSpeedup checks the speedup harness end to end: all three
+// sweeps must match bit-exactly, and the store-resumed sweep must win once
+// warm-up dominates the budget. The thresholds are deliberately loose —
+// the real numbers (6x+ warm at the 2.5M-warm-up smoke point) belong to
+// elsqbench -ckpt-speedup, not a CI assertion on a noisy host.
+func TestCheckpointSpeedup(t *testing.T) {
+	mk := func(mut func(*config.Config)) config.Config {
+		cfg := config.Default().WithBudget(2_000, 400_000)
+		if mut != nil {
+			mut(&cfg)
+		}
+		return cfg
+	}
+	res, err := CheckpointSpeedup("swim", 1, []config.Config{
+		mk(nil),
+		mk(func(c *config.Config) { c.ERT = config.ERTLine }),
+		mk(func(c *config.Config) { c.MigrateThreshold = 24 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatal("checkpoint-shared sweep results diverged from full-warm-up sweep")
+	}
+	if res.WarmSpeedup() < 1.3 {
+		t.Errorf("warm-store speedup %.2fx, want >= 1.3x at a warm-up-dominated budget", res.WarmSpeedup())
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+// Checkpoint verification and speed accounting for the regression harness:
+// VerifyResume proves (by digest) that checkpoint-resumed simulation is
+// bit-identical to full-warm-up simulation, and CheckpointSpeedup measures
+// the wall-clock effect of sharing one warm-up across a config sweep —
+// the bench-smoke CI gate runs the former, PR descriptions quote the
+// latter.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// ResumeCheck is the outcome of one point's full-vs-resumed comparison.
+type ResumeCheck struct {
+	// Name is the point's matrix name.
+	Name string `json:"name"`
+	// FullDigest and ResumedDigest are the results digests of the
+	// full-warm-up and checkpoint-resumed runs; the harness requires them
+	// equal.
+	FullDigest    string `json:"full_digest"`
+	ResumedDigest string `json:"resumed_digest"`
+	// FullNS and ResumedNS are the wall times of the two runs (the resumed
+	// run includes its checkpoint builds).
+	FullNS    int64 `json:"full_ns"`
+	ResumedNS int64 `json:"resumed_ns"`
+}
+
+// OK reports whether the two runs produced identical results.
+func (c ResumeCheck) OK() bool { return c.FullDigest == c.ResumedDigest }
+
+// VerifyResume runs the point's whole suite once with full functional
+// warm-up and once resumed from freshly built checkpoints, and returns both
+// results digests. Any mismatch means checkpoint restore failed to
+// reproduce warm state bit-exactly.
+func (p Point) VerifyResume() (ResumeCheck, error) {
+	out := ResumeCheck{Name: p.Name}
+	profs := workload.SuiteOf(p.Suite)
+
+	start := time.Now()
+	var full []*cpu.Result
+	for _, prof := range profs {
+		sim, err := cpu.New(p.Config, prof.New(1))
+		if err != nil {
+			return out, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
+		full = append(full, sim.Run())
+	}
+	out.FullNS = time.Since(start).Nanoseconds()
+	out.FullDigest = digestResults(full)
+
+	start = time.Now()
+	var resumed []*cpu.Result
+	for _, prof := range profs {
+		snap, err := ckpt.Build(&p.Config, prof, 1)
+		if err != nil {
+			return out, fmt.Errorf("bench %s/%s: build checkpoint: %w", p.Name, prof.Name, err)
+		}
+		sim, err := ckpt.Resume(p.Config, snap, prof.Name, 1)
+		if err != nil {
+			return out, fmt.Errorf("bench %s/%s: resume: %w", p.Name, prof.Name, err)
+		}
+		resumed = append(resumed, sim.Run())
+	}
+	out.ResumedNS = time.Since(start).Nanoseconds()
+	out.ResumedDigest = digestResults(resumed)
+	return out, nil
+}
+
+// SpeedupResult is the outcome of one CheckpointSpeedup measurement.
+type SpeedupResult struct {
+	// Bench and Configs identify the sweep.
+	Bench   string   `json:"bench"`
+	Configs []string `json:"configs"`
+	// Insts is the total simulated work of the full-warm-up sweep
+	// ((warmup+measure) per config); the shared sweeps warm up at most once.
+	Insts uint64 `json:"insts"`
+	// FullNS is the wall time of the sweep paying a full warm-up per
+	// config. ColdNS shares one checkpoint built inside the measured run
+	// (first sweep against an empty store; its ceiling for K configs is
+	// K×(W+m)/(W+K×m) < K). WarmNS resumes every config from the
+	// already-populated store — the steady state of iterating on a sweep
+	// or pre-building with elsqckpt — and scales past K×.
+	FullNS int64 `json:"full_ns"`
+	ColdNS int64 `json:"cold_ns"`
+	WarmNS int64 `json:"warm_ns"`
+	// Match reports whether all three sweeps produced identical results.
+	Match bool `json:"match"`
+}
+
+// ColdSpeedup returns FullNS/ColdNS (checkpoint built inside the run).
+func (r SpeedupResult) ColdSpeedup() float64 { return ratio(r.FullNS, r.ColdNS) }
+
+// WarmSpeedup returns FullNS/WarmNS (checkpoint served from the store).
+func (r SpeedupResult) WarmSpeedup() float64 { return ratio(r.FullNS, r.WarmNS) }
+
+func ratio(a, b int64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// CheckpointSpeedup times one benchmark swept over the given configurations
+// — which must share a warm-up identity (equal cache geometry and
+// WarmupInsts) — three ways at equal measured instructions: a full warm-up
+// per config, warm-up shared via a checkpoint built in-run, and warm-up
+// resumed from an existing store. Runs are sequential (Workers=1) and
+// uncached so the comparison is pure simulation time.
+func CheckpointSpeedup(bench string, seed uint64, configs []config.Config) (SpeedupResult, error) {
+	res := SpeedupResult{Bench: bench}
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return res, err
+	}
+	var jobs []sweep.Job
+	for _, cfg := range configs {
+		if cfg.WarmKey() != configs[0].WarmKey() {
+			return res, fmt.Errorf("bench: config %s has a different warm-up identity", cfg.Name())
+		}
+		res.Configs = append(res.Configs, cfg.Name())
+		res.Insts += cfg.WarmupInsts + cfg.MaxInsts
+		jobs = append(jobs, sweep.Job{Config: cfg, Bench: prof, Seed: seed})
+	}
+
+	full := &sweep.Runner{Workers: 1}
+	start := time.Now()
+	fullOut, _, err := full.Run(jobs)
+	if err != nil {
+		return res, err
+	}
+	res.FullNS = time.Since(start).Nanoseconds()
+
+	store := ckpt.NewMemStore()
+	shared := &sweep.Runner{Workers: 1, Checkpoints: store}
+	start = time.Now()
+	coldOut, _, err := shared.Run(jobs)
+	if err != nil {
+		return res, err
+	}
+	res.ColdNS = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	warmOut, _, err := shared.Run(jobs)
+	if err != nil {
+		return res, err
+	}
+	res.WarmNS = time.Since(start).Nanoseconds()
+
+	digest := func(out []sweep.Outcome) string {
+		var rs []*cpu.Result
+		for i := range out {
+			rs = append(rs, out[i].Result)
+		}
+		return digestResults(rs)
+	}
+	want := digest(fullOut)
+	res.Match = digest(coldOut) == want && digest(warmOut) == want
+	return res, nil
+}

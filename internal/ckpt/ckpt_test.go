@@ -1,0 +1,295 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func testConfig(mut func(*config.Config)) config.Config {
+	cfg := config.Default()
+	cfg.MaxInsts = 10_000
+	cfg.WarmupInsts = 60_000
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// resultsEqual compares every deterministic field of two results.
+func resultsEqual(a, b *cpu.Result) bool {
+	return a.Bench == b.Bench && a.Config == b.Config &&
+		a.Committed == b.Committed && a.Cycles == b.Cycles && a.IPC == b.IPC &&
+		a.LLIdleFrac == b.LLIdleFrac && a.AvgEpochs == b.AvgEpochs &&
+		reflect.DeepEqual(a.Counters.Snapshot(), b.Counters.Snapshot()) &&
+		reflect.DeepEqual(a.LoadDist, b.LoadDist) &&
+		reflect.DeepEqual(a.StoreDist, b.StoreDist)
+}
+
+// TestResumeMatchesFreshRun is the determinism contract of the package:
+// resume-from-checkpoint must be bit-identical to a fresh full-warm-up run
+// across every scheme/model path and a sampled-measurement config.
+func TestResumeMatchesFreshRun(t *testing.T) {
+	points := []struct {
+		bench string
+		seed  uint64
+		mut   func(*config.Config)
+	}{
+		{"swim", 1, nil},
+		{"gcc", 1, nil},
+		{"mcf", 2, nil},
+		{"equake", 1, func(c *config.Config) { c.Disamb = config.DisambRSAC }},
+		{"gcc", 1, func(c *config.Config) { c.ERT = config.ERTLine }},
+		{"swim", 1, func(c *config.Config) { c.LSQ = config.LSQSVW }},
+		{"gcc", 1, func(c *config.Config) { c.LSQ = config.LSQCentral }},
+		{"gcc", 1, func(c *config.Config) {
+			c.Model = config.ModelOoO
+			c.LSQ = config.LSQConventional
+		}},
+		{"twolf", 1, func(c *config.Config) {
+			c.SampleIntervals = 4
+			c.SampleBleedInsts = 5_000
+		}},
+	}
+	for _, pt := range points {
+		pt := pt
+		cfg := testConfig(pt.mut)
+		t.Run(cfg.Name()+"/"+pt.bench, func(t *testing.T) {
+			prof := mustProfile(t, pt.bench)
+
+			fresh, err := cpu.New(cfg, prof.New(pt.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run()
+
+			snap, err := Build(&cfg, prof, pt.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := Resume(cfg, snap, pt.bench, pt.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sim.Run()
+
+			if !resultsEqual(want, got) {
+				t.Errorf("resumed run diverged from fresh run:\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestKeySharing pins which config fields partition the checkpoint space:
+// timing-only fields share, warm-up-relevant fields split.
+func TestKeySharing(t *testing.T) {
+	base := testConfig(nil)
+	k := Key(&base, "swim", 1)
+
+	share := []func(*config.Config){
+		func(c *config.Config) { c.LSQ = config.LSQSVW },
+		func(c *config.Config) { c.ERT = config.ERTLine },
+		func(c *config.Config) { c.MigrateThreshold = 99 },
+		func(c *config.Config) { c.NumEpochs = 4 },
+		func(c *config.Config) { c.MemLatency = 250 },
+		func(c *config.Config) { c.L1.LatencyCycles = 3 }, // latency shapes timing, not contents
+		func(c *config.Config) { c.MaxInsts = 77_777 },
+		func(c *config.Config) { c.SampleIntervals = 4; c.SampleBleedInsts = 1000 },
+		func(c *config.Config) { c.Model = config.ModelOoO; c.LSQ = config.LSQConventional },
+	}
+	for i, mut := range share {
+		cfg := testConfig(mut)
+		if Key(&cfg, "swim", 1) != k {
+			t.Errorf("share case %d split the checkpoint key", i)
+		}
+	}
+
+	split := []func(*config.Config){
+		func(c *config.Config) { c.L1.SizeBytes = 64 << 10 },
+		func(c *config.Config) { c.L2.Ways = 8 },
+		func(c *config.Config) { c.L2.LineBytes = 64 },
+		func(c *config.Config) { c.WarmupInsts = 70_000 },
+	}
+	for i, mut := range split {
+		cfg := testConfig(mut)
+		if Key(&cfg, "swim", 1) == k {
+			t.Errorf("split case %d shared the checkpoint key", i)
+		}
+	}
+
+	if Key(&base, "gcc", 1) == k || Key(&base, "swim", 2) == k {
+		t.Error("benchmark or seed change shared the checkpoint key")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.WarmupInsts = 20_000
+	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDiskStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(snap.Key); ok {
+		t.Fatal("empty store returned a snapshot")
+	}
+	store.Put(snap)
+	got, ok := store.Get(snap.Key)
+	if !ok {
+		t.Fatal("stored snapshot not found")
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Error("snapshot did not survive the disk round trip")
+	}
+
+	// A resumed run from the reloaded snapshot still matches fresh.
+	fresh, err := cpu.New(cfg, mustProfile(t, "gzip").New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Run()
+	sim, err := Resume(cfg, got, "gzip", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(want, sim.Run()) {
+		t.Error("disk-loaded resume diverged from fresh run")
+	}
+
+	// Corrupt entries are misses.
+	if err := os.WriteFile(filepath.Join(store.Dir(), snap.Key+diskSuffix), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(snap.Key); ok {
+		t.Error("corrupt snapshot served as a hit")
+	}
+}
+
+func TestDiskStoreSizeBudget(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.WarmupInsts = 5_000
+	var snaps []*Snapshot
+	for _, bench := range []string{"gzip", "vpr", "gcc"} {
+		snap, err := Build(&cfg, mustProfile(t, bench), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+
+	store, err := NewDiskStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(snaps[0])
+	one, err := store.TotalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for two snapshots: the third Put must evict the oldest.
+	store.MaxBytes = one*2 + one/2
+	for i, snap := range snaps[1:] {
+		// Spread mtimes so "oldest" is well defined on coarse filesystems.
+		past := time.Now().Add(time.Duration(i-3) * time.Second)
+		os.Chtimes(filepath.Join(store.Dir(), snaps[i].Key+diskSuffix), past, past)
+		store.Put(snap)
+	}
+	if _, ok := store.Get(snaps[0].Key); ok {
+		t.Error("size budget did not evict the oldest snapshot")
+	}
+	if _, ok := store.Get(snaps[2].Key); !ok {
+		t.Error("size budget evicted the just-written snapshot")
+	}
+	entries, err := store.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("store holds %d entries, want 2", len(entries))
+	}
+}
+
+func TestResumeRejectsMismatch(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.WarmupInsts = 5_000
+	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(cfg, snap, "vpr", 1); err == nil {
+		t.Error("resume accepted a snapshot of a different benchmark")
+	}
+	other := cfg
+	other.WarmupInsts = 6_000
+	if _, err := Resume(other, snap, "gzip", 1); err == nil {
+		t.Error("resume accepted a snapshot with a different warm-up budget")
+	}
+	geom := cfg
+	geom.L1.SizeBytes = 64 << 10
+	if _, err := Resume(geom, snap, "gzip", 1); err == nil {
+		t.Error("resume accepted a snapshot of different cache geometry")
+	}
+}
+
+// TestDiskStoreSweepsStaleTemps pins the crash-residue cleanup: temp files
+// old enough that their writer must be dead are removed on open, fresh ones
+// (a concurrent writer's in-flight Put) are left alone, and Has answers
+// existence without decoding.
+func TestDiskStoreSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "deadbeef.tmp-123")
+	fresh := filepath.Join(dir, "cafef00d.tmp-456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived store open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file (possible in-flight write) was removed")
+	}
+
+	if store.Has("nope") {
+		t.Error("Has reported a missing key")
+	}
+	cfg := testConfig(nil)
+	cfg.WarmupInsts = 5_000
+	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(snap)
+	if !store.Has(snap.Key) {
+		t.Error("Has missed a stored key")
+	}
+}

@@ -4,7 +4,11 @@
 // sweep changes exactly the parameters the paper sweeps.
 package config
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
 
 // Model selects the host microarchitecture.
 type Model uint8
@@ -225,6 +229,22 @@ type Config struct {
 	// MaxInsts is the number of committed instructions to measure per
 	// benchmark (after warm-up).
 	MaxInsts uint64
+	// SampleIntervals, when above 1, splits MaxInsts into that many
+	// SimPoint-style measured intervals: between intervals the simulator
+	// fast-forwards SampleBleedInsts committed instructions functionally
+	// (memory references keep warming the caches, nothing is timed), so the
+	// measurement samples several program phases instead of one contiguous
+	// region — the paper's multi-SimPoint methodology. 0 and 1 both mean a
+	// single contiguous measured region and encode identically (the fields
+	// are omitted from the canonical form when unset, so legacy configs
+	// keep their cache identity). MaxInsts is split as evenly as possible,
+	// with the first interval absorbing the remainder; every reported
+	// metric still covers exactly MaxInsts committed instructions.
+	SampleIntervals int `json:",omitempty"`
+	// SampleBleedInsts is the per-gap functional fast-forward described
+	// above (ignored unless SampleIntervals > 1).
+	SampleBleedInsts uint64 `json:",omitempty"`
+
 	// WarmupInsts is the number of committed instructions executed before
 	// measurement starts, so caches and predictor-equivalent state reach
 	// steady state (the paper measures SimPoints of already-warm
@@ -350,8 +370,37 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: SSBFBits %d out of range [1,24]", c.SSBFBits)
 	case c.MaxInsts == 0:
 		return fmt.Errorf("config: MaxInsts must be positive")
+	case c.SampleIntervals < 0:
+		return fmt.Errorf("config: SampleIntervals must be non-negative, got %d", c.SampleIntervals)
+	case c.SampleIntervals > 1 && c.MaxInsts < uint64(c.SampleIntervals):
+		return fmt.Errorf("config: MaxInsts %d cannot be split into %d sample intervals", c.MaxInsts, c.SampleIntervals)
 	}
 	return nil
+}
+
+// Intervals returns the measured-interval count (at least 1) and the
+// per-gap warm bleed the sampling fields denote.
+func (c *Config) Intervals() (n int, bleed uint64) {
+	if c.SampleIntervals > 1 {
+		return c.SampleIntervals, c.SampleBleedInsts
+	}
+	return 1, 0
+}
+
+// WarmKey returns a stable digest of exactly the fields the functional
+// warm-up depends on: cache geometry and the warm-up budget. Two configs
+// with equal WarmKey leave bit-identical post-warm-up state for a given
+// (benchmark, seed) — latencies, queue sizes, the LSQ scheme, ERT geometry
+// and the migrate threshold all shape timing only — so a checkpoint built
+// under one serves every other (internal/ckpt keys its store with this).
+func (c *Config) WarmKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "warm1|l1:%d/%d/%d|l2:%d/%d/%d|w:%d",
+		c.L1.SizeBytes, c.L1.Ways, c.L1.LineBytes,
+		c.L2.SizeBytes, c.L2.Ways, c.L2.LineBytes,
+		c.WarmupInsts)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
 }
 
 // Name returns a short human-readable identifier for the configuration, in

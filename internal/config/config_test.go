@@ -169,3 +169,34 @@ func TestStringers(t *testing.T) {
 		t.Error("SVWVariant strings wrong")
 	}
 }
+
+// TestCanonicalNormalisesInertSampling pins the cache-identity rule for the
+// sampling fields: 0 and 1 intervals are the same (contiguous) measurement
+// and bleed is dead without at least two intervals, so none of those
+// settings may split the canonical identity.
+func TestCanonicalNormalisesInertSampling(t *testing.T) {
+	base := Default()
+	one := Default()
+	one.SampleIntervals = 1
+	deadBleed := Default()
+	deadBleed.SampleBleedInsts = 999
+	both := Default()
+	both.SampleIntervals = 1
+	both.SampleBleedInsts = 999
+	for i, c := range []Config{one, deadBleed, both} {
+		if c.Hash() != base.Hash() {
+			t.Errorf("case %d: semantically inert sampling settings changed the canonical identity", i)
+		}
+	}
+	sampled := Default()
+	sampled.SampleIntervals = 4
+	if sampled.Hash() == base.Hash() {
+		t.Error("a real interval split must change the canonical identity")
+	}
+	zeroBleedSampled := Default()
+	zeroBleedSampled.SampleIntervals = 4
+	zeroBleedSampled.SampleBleedInsts = 1
+	if zeroBleedSampled.Hash() == sampled.Hash() {
+		t.Error("bleed with real intervals must change the canonical identity")
+	}
+}

@@ -180,6 +180,8 @@ func fieldRegistry() []FieldSpec {
 		intField("mispredict.penalty", "front-end redirect cost (cycles)", func(c *Config) *int { return &c.MispredictPenalty }),
 		uint64Field("insts", "measured instructions per benchmark", func(c *Config) *uint64 { return &c.MaxInsts }),
 		uint64Field("warmup", "functional warm-up instructions", func(c *Config) *uint64 { return &c.WarmupInsts }),
+		intField("sample.intervals", "SimPoint-style measured intervals per benchmark (0/1 = contiguous)", func(c *Config) *int { return &c.SampleIntervals }),
+		uint64Field("sample.bleed", "functional fast-forward between sample intervals", func(c *Config) *uint64 { return &c.SampleBleedInsts }),
 	}
 }
 

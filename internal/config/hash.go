@@ -11,9 +11,17 @@ import (
 // with fields in declaration order and enums in their text form. Two configs
 // have equal Canonical output iff every simulated parameter is equal, so the
 // encoding doubles as the result-cache identity (internal/sweep) and as the
-// config record embedded in sweep artifacts.
+// config record embedded in sweep artifacts. Semantically inert sampling
+// settings are normalised away first — SampleIntervals 0 and 1 both mean a
+// contiguous measurement and SampleBleedInsts is dead without at least two
+// intervals — so equivalent configs share one identity.
 func (c *Config) Canonical() []byte {
-	b, err := json.Marshal(c)
+	cc := *c
+	if cc.SampleIntervals <= 1 {
+		cc.SampleIntervals = 0
+		cc.SampleBleedInsts = 0
+	}
+	b, err := json.Marshal(&cc)
 	if err != nil {
 		// Config is a flat struct of ints, bools and text-marshalling
 		// enums; encoding can only fail if the struct gains an

@@ -192,6 +192,7 @@ func (e *ELSQ) liveAt(phys int, t int64) bool {
 // line cannot be allocated and canStall is true; with canStall false the
 // caller must squash instead (ok=false).
 func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
+	filter.AssertIndexable(op.Addr, op.Size, "ert insert")
 	phys := e.physical(int64(op.Epoch))
 	e.claim(phys, int64(op.Epoch))
 	idx := 0

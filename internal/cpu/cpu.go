@@ -97,6 +97,11 @@ type Sim struct {
 	lastMigrate  int64
 	migBlockMem  int64 // RSAC: memory refs may not migrate before this
 
+	// warmed is set by RestoreWarmState: the hierarchy already carries the
+	// warm-up image and gen is positioned past it, so Run skips the
+	// functional warm-up phase.
+	warmed bool
+
 	committed   uint64
 	wpSeq       uint64
 	llBusyUntil int64
@@ -211,16 +216,49 @@ func New(cfg config.Config, gen workload.Source) (*Sim, error) {
 	return s, nil
 }
 
+// RestoreWarmState primes the simulator from a checkpoint instead of a
+// functional warm-up: hs must be the hierarchy image captured after exactly
+// cfg.WarmupInsts functional instructions of this benchmark, and the
+// workload source passed to New must already be positioned past them
+// (workload.Snapshottable.Restore). Run then starts measuring immediately;
+// results are bit-identical to a fresh run's.
+func (s *Sim) RestoreWarmState(hs *mem.HierarchyState) error {
+	if s.committed > 0 {
+		return fmt.Errorf("cpu: cannot restore warm state into a running simulation")
+	}
+	if err := s.hier.SetState(hs); err != nil {
+		return fmt.Errorf("cpu: %w", err)
+	}
+	s.warmed = true
+	return nil
+}
+
 // Run simulates cfg.WarmupInsts instructions functionally (cache warm-up —
-// the paper measures SimPoints of already-warm execution), then
-// cfg.MaxInsts committed instructions with full timing, and returns the
-// result.
+// the paper measures SimPoints of already-warm execution; a checkpoint
+// restore via RestoreWarmState stands in for this phase), then cfg.MaxInsts
+// committed instructions with full timing, and returns the result. With
+// SampleIntervals > 1 the measured instructions are split into that many
+// intervals separated by SampleBleedInsts of functional fast-forward, so
+// the measurement spans several program phases.
 func (s *Sim) Run() *Result {
 	var in isa.Inst
-	s.gen.Warmup(s.cfg.WarmupInsts, func(addr uint64) { s.hier.Access(addr) })
-	for s.committed < s.cfg.MaxInsts {
-		s.gen.Next(&in)
-		s.step(&in)
+	warmAccess := func(addr uint64) { s.hier.Access(addr) }
+	if !s.warmed {
+		s.gen.Warmup(s.cfg.WarmupInsts, warmAccess)
+	}
+	intervals, bleed := s.cfg.Intervals()
+	per := s.cfg.MaxInsts / uint64(intervals)
+	target := s.cfg.MaxInsts - per*uint64(intervals-1) // first interval absorbs the remainder
+	for k := 0; ; k++ {
+		for s.committed < target {
+			s.gen.Next(&in)
+			s.step(&in)
+		}
+		if k == intervals-1 {
+			break
+		}
+		s.gen.Warmup(bleed, warmAccess)
+		target += per
 	}
 	if s.epochs != nil {
 		if rel := s.epochs.CloseAll(); rel.OK {

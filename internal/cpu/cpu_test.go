@@ -299,3 +299,68 @@ func TestAvgEpochsReasonable(t *testing.T) {
 		t.Errorf("AvgEpochs = %.2f out of (0,16]", r.AvgEpochs)
 	}
 }
+
+// TestSampledMeasurement pins the multi-interval sampling semantics: the
+// measured instruction count is exactly MaxInsts regardless of the interval
+// split, runs are deterministic, zero-bleed sampling equals contiguous
+// measurement bit-for-bit, and a real bleed moves the measurement window
+// (the caches advance through program phases between intervals).
+func TestSampledMeasurement(t *testing.T) {
+	base := quickCfg(config.Default())
+	contiguous := run(t, base, "twolf", 1)
+
+	zeroBleed := base
+	zeroBleed.SampleIntervals = 4
+	rz := run(t, zeroBleed, "twolf", 1)
+	if rz.Committed != base.MaxInsts {
+		t.Fatalf("sampled run committed %d, want %d", rz.Committed, base.MaxInsts)
+	}
+	if rz.Cycles != contiguous.Cycles || rz.IPC != contiguous.IPC {
+		t.Errorf("zero-bleed sampling diverged from contiguous measurement: %d/%f vs %d/%f",
+			rz.Cycles, rz.IPC, contiguous.Cycles, contiguous.IPC)
+	}
+
+	sampled := base
+	sampled.SampleIntervals = 4
+	sampled.SampleBleedInsts = 50_000
+	r1 := run(t, sampled, "twolf", 1)
+	r2 := run(t, sampled, "twolf", 1)
+	if r1.Committed != base.MaxInsts {
+		t.Fatalf("bled sampled run committed %d, want %d", r1.Committed, base.MaxInsts)
+	}
+	if r1.Cycles != r2.Cycles || r1.IPC != r2.IPC {
+		t.Error("sampled measurement is not deterministic")
+	}
+	if r1.Cycles == contiguous.Cycles {
+		t.Error("bleed did not move the measurement window (cycles identical to contiguous run)")
+	}
+
+	// An uneven split still measures exactly MaxInsts.
+	uneven := base
+	uneven.MaxInsts = 30_001
+	uneven.SampleIntervals = 4
+	uneven.SampleBleedInsts = 1_000
+	if r := run(t, uneven, "twolf", 1); r.Committed != 30_001 {
+		t.Errorf("uneven split committed %d, want 30001", r.Committed)
+	}
+}
+
+// TestRestoreWarmStateRejectsLateRestore pins the resume API contract.
+func TestRestoreWarmStateRejectsLateRestore(t *testing.T) {
+	cfg := quickCfg(config.Default())
+	cfg.WarmupInsts = 1_000
+	cfg.MaxInsts = 500
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg, p.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.hier.State()
+	sim.Run()
+	if err := sim.RestoreWarmState(st); err == nil {
+		t.Error("RestoreWarmState accepted a simulator that already ran")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/sweep"
@@ -56,6 +57,13 @@ type job struct {
 // different Options never alias.
 var resultCache = sweep.NewMemCache()
 
+// ckptStore shares warm-up checkpoints the same way: every experiment
+// sweeps timing-only axes over the Table 1 cache geometry, so each
+// (benchmark, seed) pays its functional warm-up once per process instead of
+// once per configuration. Results are bit-identical either way (the ckpt
+// package's determinism contract).
+var ckptStore = ckpt.NewMemStore()
+
 // runAll executes the jobs on the sweep engine's bounded worker pool.
 // Results are written to each job's out slot, so callers keep a
 // deterministic layout regardless of completion order.
@@ -64,7 +72,7 @@ func runAll(jobs []job, opt Options) error {
 	for i, j := range jobs {
 		sjobs[i] = sweep.Job{Config: j.cfg, Bench: j.prof, Seed: opt.Seed}
 	}
-	runner := sweep.Runner{Workers: opt.Workers, Cache: resultCache}
+	runner := sweep.Runner{Workers: opt.Workers, Cache: resultCache, Checkpoints: ckptStore}
 	outcomes, _, err := runner.Run(sjobs)
 	if err != nil {
 		return err

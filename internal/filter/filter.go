@@ -5,15 +5,43 @@
 // (Section 5.6).
 package filter
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // HashIndex maps an effective address to an n-bit ERT/SSBF index using the
 // low address bits above 8-byte granularity, matching the paper's "set of
 // the lower bits from the address". With naturally aligned accesses of at
-// most 8 bytes, any two overlapping accesses map to the same index, so the
-// filter never produces false negatives.
+// most 8 bytes (see Indexable), any two overlapping accesses map to the
+// same index, so the filter never produces false negatives.
 func HashIndex(addr uint64, nbits int) int {
 	return int((addr >> 3) & ((1 << uint(nbits)) - 1))
+}
+
+// Indexable reports whether an access may rely on HashIndex's no-false-
+// negative guarantee: a power-of-two size of at most 8 bytes, naturally
+// aligned. Such an access lies within a single 8-byte granule, so any two
+// overlapping accesses share a granule and therefore an index. An access
+// violating this (e.g. one crossing an 8-byte boundary) could overlap an
+// op indexed under a different granule and silently evade the ERT/SSBF —
+// a disambiguation soundness hole, not just a precision loss.
+func Indexable(addr uint64, size uint8) bool {
+	return size > 0 && size <= 8 && size&(size-1) == 0 && addr&uint64(size-1) == 0
+}
+
+// Debug enables the alignment assertions at the points where memory ops
+// enter the filters (workload emission, ERT insertion, SVW commit checks).
+// The package tests switch it on; production hot paths pay one predictable
+// branch.
+var Debug = false
+
+// AssertIndexable panics if Debug is set and the access violates the
+// Indexable invariant.
+func AssertIndexable(addr uint64, size uint8, site string) {
+	if Debug && !Indexable(addr, size) {
+		panic(fmt.Sprintf("filter: %s: access addr %#x size %d violates the aligned-pow2-<=8B invariant HashIndex soundness relies on", site, addr, size))
+	}
 }
 
 // EpochBitTable is the ERT core: for every index it keeps one bit per epoch

@@ -222,3 +222,74 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestIndexable pins the invariant HashIndex's no-false-negative guarantee
+// rests on.
+func TestIndexable(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint8
+		ok   bool
+	}{
+		{0x1000, 8, true},
+		{0x1004, 4, true},
+		{0x1006, 2, true},
+		{0x1007, 1, true},
+		{0x1004, 8, false},  // 8-byte access crossing an 8-byte boundary
+		{0x1002, 4, false},  // misaligned 4-byte
+		{0x1000, 16, false}, // wider than a granule
+		{0x1000, 3, false},  // non-power-of-two
+		{0x1000, 0, false},  // degenerate
+	}
+	for _, c := range cases {
+		if got := Indexable(c.addr, c.size); got != c.ok {
+			t.Errorf("Indexable(%#x, %d) = %v, want %v", c.addr, c.size, got, c.ok)
+		}
+	}
+}
+
+// TestOverlappingAccessesCollide proves the soundness property: any two
+// Indexable accesses whose byte ranges overlap map to the same HashIndex,
+// for every index width, over an exhaustive sweep of granule-local offsets
+// and a randomised sweep of bases.
+func TestOverlappingAccessesCollide(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	overlap := func(a1 uint64, s1 uint8, a2 uint64, s2 uint8) bool {
+		return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
+	}
+	bases := []uint64{0, 0x1000, 0xFFF8, 1 << 20, (1 << 40) - 8}
+	for _, nbits := range []int{4, 10, 24} {
+		for _, base := range bases {
+			for _, s1 := range sizes {
+				for o1 := uint64(0); o1 < 16; o1 += uint64(s1) {
+					for _, s2 := range sizes {
+						for o2 := uint64(0); o2 < 16; o2 += uint64(s2) {
+							a1, a2 := base+o1, base+o2
+							if !Indexable(a1, s1) || !Indexable(a2, s2) || !overlap(a1, s1, a2, s2) {
+								continue
+							}
+							if HashIndex(a1, nbits) != HashIndex(a2, nbits) {
+								t.Fatalf("overlapping accesses (%#x,%d) and (%#x,%d) map to indices %d and %d (nbits %d)",
+									a1, s1, a2, s2, HashIndex(a1, nbits), HashIndex(a2, nbits), nbits)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssertIndexable checks the debug gate: off by default, panics on a
+// crossing access when enabled.
+func TestAssertIndexable(t *testing.T) {
+	AssertIndexable(0x1004, 8, "test") // Debug off: must not panic
+	Debug = true
+	defer func() {
+		Debug = false
+		if recover() == nil {
+			t.Error("AssertIndexable let an 8-byte-crossing access through with Debug on")
+		}
+	}()
+	AssertIndexable(0x1004, 8, "test")
+}

@@ -40,10 +40,10 @@ type Cache struct {
 	tagShift uint // log2(line bytes * set count)
 	setMask  uint64
 	// useClock ticks per access for LRU ordering. It is renormalised when
-	// it would wrap uint32 (every ~4.3G accesses): all use ticks shift
-	// down by 2^31 with saturation, which preserves replacement order
-	// except among lines idle for over two billion accesses, where ties
-	// break deterministically by way index.
+	// it would wrap uint32 (every ~4.3G accesses) by compacting every
+	// set's use ticks to their per-set LRU rank, which preserves
+	// replacement order exactly — victims are only ever chosen within a
+	// set, so cross-set rank collisions are harmless.
 	useClock uint32
 	// Accesses and Misses count every lookup and every miss.
 	Accesses, Misses uint64
@@ -129,17 +129,38 @@ func (c *Cache) Access(addr uint64) (LineSlot, bool) {
 func (c *Cache) tick() {
 	c.useClock++
 	if c.useClock == ^uint32(0) {
-		const down = 1 << 31
-		for i := range c.lines {
-			l := &c.lines[i]
-			if l.use > down {
-				l.use -= down
-			} else {
-				l.use = 0
-			}
-		}
-		c.useClock -= down
+		c.renormalise()
 	}
+}
+
+// renormalise rewinds the LRU clock by compacting every set's use ticks to
+// their per-set recency rank (0 = least recent). The earlier saturating
+// downshift collapsed the older half of the tick range to zero, so a line
+// still warm relative to its set-mates could tie with — and, sitting in an
+// earlier way, lose to — a line idle for billions of accesses; rank
+// compaction keeps every set's replacement order bit-exact across the wrap.
+// Invalid lines (use 0, never above a valid line's tick) keep the lowest
+// ranks and remain the preferred victims.
+func (c *Cache) renormalise() {
+	ranked := make([]uint32, c.ways) // renormalisation is ~once per 4.3G accesses
+	for base := 0; base < len(c.lines); base += c.ways {
+		set := c.lines[base : base+c.ways]
+		for w := range set {
+			var rank uint32
+			for v := range set {
+				if set[v].use < set[w].use || (set[v].use == set[w].use && v < w) {
+					rank++
+				}
+			}
+			ranked[w] = rank
+		}
+		for w := range set {
+			set[w].use = ranked[w]
+		}
+	}
+	// Strictly above every line's rank, so the renorm-triggering access
+	// stamps a fresh maximum exactly as any other access would.
+	c.useClock = uint32(c.ways)
 }
 
 // Allocate fills addr's line, evicting the LRU unlocked line. It returns the

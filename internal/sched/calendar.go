@@ -4,6 +4,8 @@
 // ports, commit slots, migration bandwidth).
 package sched
 
+import "fmt"
+
 // Calendar reserves up to width events per cycle. Slots are tracked in a
 // ring keyed by cycle; entries are cleared lazily when a new cycle maps
 // onto them, so reservation times may be moderately out of order as long as
@@ -43,13 +45,25 @@ func NewCalendar(width, horizon int) *Calendar {
 }
 
 // Reserve books one slot at the earliest cycle >= t and returns it.
+//
+// Horizon contract: the spread between in-flight reservation times must stay
+// below the horizon. A slot whose packed cycle is *older* than t is stale and
+// lazily cleared; one whose cycle is *newer* than t means cycle t aliases a
+// live future reservation — clearing it would silently zero that future
+// cycle's booked count and corrupt resource accounting, so Reserve panics
+// with the geometry instead.
 func (c *Calendar) Reserve(t int64) int64 {
 	if t < 0 {
 		t = 0
 	}
 	for {
 		s := &c.slots[t&c.mask]
-		if *s>>calUsedBits != uint64(t) {
+		if cyc := int64(*s >> calUsedBits); cyc != t {
+			if cyc > t {
+				panic(fmt.Sprintf(
+					"sched: calendar horizon aliasing: reserving cycle %d landed on live slot for future cycle %d (width %d, horizon %d, spread %d); widen the horizon",
+					t, cyc, c.width, len(c.slots), cyc-t))
+			}
 			*s = uint64(t) << calUsedBits
 		}
 		if *s&(1<<calUsedBits-1) < c.width {

@@ -118,3 +118,39 @@ func TestRingUnlimited(t *testing.T) {
 		t.Error("unlimited ring backpressured")
 	}
 }
+
+// TestCalendarHorizonAliasingPanics is the regression test for the silent
+// horizon-aliasing clobber: booking cycle t+horizon used to land on cycle
+// t's live ring slot, see a "different" packed cycle and reset its booked
+// count to zero — future-cycle reservations vanished with no signal. The
+// calendar must now detect that the aliased slot holds a *future* cycle and
+// panic with the geometry.
+func TestCalendarHorizonAliasingPanics(t *testing.T) {
+	const horizon = 16
+	c := NewCalendar(1, horizon)
+	// Book the future cycle, then let time pass beyond the horizon so a
+	// later reservation wraps onto the booked slot.
+	c.Reserve(horizon + 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("horizon-aliased Reserve silently clobbered a future cycle's bookings")
+		}
+	}()
+	c.Reserve(3) // 3 & mask == (horizon+3) & mask: aliases the live slot
+}
+
+// TestCalendarStaleSlotsStillClear pins the legitimate half of the lazy-
+// clearing rule: a slot whose packed cycle is *older* than the requested
+// cycle is stale and must be reused without complaint.
+func TestCalendarStaleSlotsStillClear(t *testing.T) {
+	const horizon = 16
+	c := NewCalendar(1, horizon)
+	if got := c.Reserve(3); got != 3 {
+		t.Fatalf("got %d", got)
+	}
+	// One full lap later the slot is stale; reserving the aliasing future
+	// cycle must succeed and see full capacity.
+	if got := c.Reserve(horizon + 3); got != horizon+3 {
+		t.Errorf("Reserve(%d) = %d after slot went stale", horizon+3, got)
+	}
+}

@@ -71,6 +71,7 @@ func (e *Engine) StoreCommitted(addr uint64, seq uint64, commitCycle int64) {
 // no older address-unresolved store in flight — such loads saw every
 // relevant address and cannot have been wrong.
 func (e *Engine) LoadCommitting(ld *lsq.MemOp) bool {
+	filter.AssertIndexable(ld.Addr, ld.Size, "svw load commit")
 	seq, ok := e.ssbf.LastStore(ld.Addr)
 	if !ok {
 		return false

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/workload"
 )
@@ -109,5 +110,73 @@ func TestKeyStability(t *testing.T) {
 	j4.Axes = map[string]string{"label": "x"}
 	if j.Key() != j4.Key() {
 		t.Error("Axes labels changed the cache key")
+	}
+}
+
+// TestCheckpointedRunMatchesFull pins the checkpoint-sharing contract: a
+// Runner with a checkpoint store produces outcomes bit-identical to one
+// without, while running each distinct warm-up only once.
+func TestCheckpointedRunMatchesFull(t *testing.T) {
+	// Three configs differing only in non-warm-up fields (the shape of
+	// every paper sweep), over two benchmarks.
+	var jobs []Job
+	muts := []func(*config.Config){
+		nil,
+		func(c *config.Config) { c.ERT = config.ERTLine },
+		func(c *config.Config) { c.MigrateThreshold = 24 },
+	}
+	for _, name := range []string{"gcc", "swim"} {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mut := range muts {
+			cfg := config.Default().WithBudget(2_000, 40_000)
+			if mut != nil {
+				mut(&cfg)
+			}
+			jobs = append(jobs, Job{Config: cfg, Bench: prof, Seed: 1})
+		}
+	}
+
+	full := &Runner{Workers: 4}
+	wantOut, wantStats, err := full.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.CheckpointsBuilt != 0 || wantStats.CheckpointResumes != 0 {
+		t.Fatalf("runner without a store reported checkpoint activity: %+v", wantStats)
+	}
+
+	ckptd := &Runner{Workers: 4, Checkpoints: ckpt.NewMemStore()}
+	gotOut, gotStats, err := ckptd.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats.CheckpointsBuilt != 2 {
+		t.Errorf("built %d checkpoints, want 2 (one per benchmark)", gotStats.CheckpointsBuilt)
+	}
+	if gotStats.CheckpointResumes != len(jobs) {
+		t.Errorf("resumed %d jobs, want %d", gotStats.CheckpointResumes, len(jobs))
+	}
+	for i := range wantOut {
+		if wantOut[i].Key != gotOut[i].Key || !reflect.DeepEqual(wantOut[i].Result, gotOut[i].Result) {
+			t.Errorf("job %d: checkpointed outcome diverged from full run", i)
+		}
+	}
+
+	// A second run against the same store resumes every job from disk-free
+	// memory hits and builds nothing.
+	again, againStats, err := ckptd.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if againStats.CheckpointsBuilt != 0 {
+		t.Errorf("second run rebuilt %d checkpoints, want 0", againStats.CheckpointsBuilt)
+	}
+	for i := range wantOut {
+		if !reflect.DeepEqual(wantOut[i].Result, again[i].Result) {
+			t.Errorf("job %d: second checkpointed run diverged", i)
+		}
 	}
 }

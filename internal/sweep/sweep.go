@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/workload"
@@ -91,12 +92,22 @@ type Stats struct {
 	CacheHits int `json:"cache_hits"`
 	// Ran counts unique jobs actually simulated.
 	Ran int `json:"ran"`
+	// CheckpointsBuilt counts warm-up checkpoints built this run;
+	// CheckpointResumes counts simulated jobs that skipped their functional
+	// warm-up by resuming from a shared checkpoint (both zero unless the
+	// Runner has a checkpoint store).
+	CheckpointsBuilt  int `json:"checkpoints_built,omitempty"`
+	CheckpointResumes int `json:"checkpoint_resumes,omitempty"`
 }
 
 // String renders the stats in the CLI's summary format.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d jobs (%d unique): %d simulated, %d cache hits",
+	out := fmt.Sprintf("%d jobs (%d unique): %d simulated, %d cache hits",
 		s.Total, s.Unique, s.Ran, s.CacheHits)
+	if s.CheckpointsBuilt > 0 || s.CheckpointResumes > 0 {
+		out += fmt.Sprintf(", %d warm-ups checkpointed, %d resumes", s.CheckpointsBuilt, s.CheckpointResumes)
+	}
+	return out
 }
 
 // Progress is delivered to a Runner's OnProgress callback once per unique
@@ -117,6 +128,13 @@ type Runner struct {
 	Workers int
 	// Cache, if non-nil, is consulted before simulating and updated after.
 	Cache Cache
+	// Checkpoints, if non-nil, enables warm-up sharing: jobs whose
+	// warm-up-relevant identity matches (ckpt.Key — same cache geometry,
+	// warm-up budget, benchmark and seed; almost every paper sweep) share
+	// one warm-state snapshot, built once per run (or loaded from the
+	// store) and resumed per job. Results are bit-identical to full
+	// warm-up runs; only wall-clock changes.
+	Checkpoints ckpt.Store
 	// OnProgress, if non-nil, is called after each unique job resolves.
 	// Calls are serialised; the callback must not call back into the
 	// Runner.
@@ -138,6 +156,36 @@ type slot struct {
 	hit     bool
 	err     error
 	indices []int // positions in the submitted job slice
+	warm    *warmEntry
+}
+
+// warmEntry is one shared warm-up checkpoint: the first worker that needs
+// it builds (or loads) the snapshot under the once; every later job of the
+// group resumes from it.
+type warmEntry struct {
+	key  string
+	once sync.Once
+	snap *ckpt.Snapshot
+	err  error
+}
+
+// resolve loads or builds the entry's snapshot exactly once. built reports
+// whether this call did the warm-up work.
+func (w *warmEntry) resolve(store ckpt.Store, j Job) (built bool) {
+	w.once.Do(func() {
+		if snap, ok := store.Get(w.key); ok {
+			if snap.Check(&j.Config, j.Bench.Name, j.Seed) == nil {
+				w.snap = snap
+				return
+			}
+		}
+		w.snap, w.err = ckpt.Build(&j.Config, j.Bench, j.Seed)
+		if w.err == nil {
+			built = true
+			store.Put(w.snap)
+		}
+	})
+	return built
 }
 
 // Run executes the jobs and returns one outcome per job, in submission
@@ -196,6 +244,25 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 	}
 	stats.Ran = len(pending)
 
+	// Group pending jobs by warm-up identity so each distinct warm-up runs
+	// once. Zero-warm-up jobs gain nothing from a checkpoint and skip it.
+	if r.Checkpoints != nil {
+		warm := make(map[string]*warmEntry)
+		for _, s := range pending {
+			if s.job.Config.WarmupInsts == 0 {
+				continue
+			}
+			wk := ckpt.Key(&s.job.Config, s.job.Bench.Name, s.job.Seed)
+			e, ok := warm[wk]
+			if !ok {
+				e = &warmEntry{key: wk}
+				warm[wk] = e
+			}
+			s.warm = e
+		}
+	}
+	var built, resumed atomic.Int64
+
 	// Bounded pool: workers pull the next pending slot from a shared
 	// cursor, so an idle worker steals whatever work remains.
 	var cursor atomic.Int64
@@ -210,7 +277,7 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 					return
 				}
 				s := pending[n]
-				s.res, s.err = runJob(s.job)
+				s.res, s.err = r.runSlot(s, &built, &resumed)
 				if s.err == nil && r.Cache != nil {
 					r.Cache.Put(s.key, s.res)
 				}
@@ -219,6 +286,8 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 		}()
 	}
 	wg.Wait()
+	stats.CheckpointsBuilt = int(built.Load())
+	stats.CheckpointResumes = int(resumed.Load())
 
 	out := make([]Outcome, len(jobs))
 	for _, s := range unique {
@@ -232,7 +301,26 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 	return out, stats, firstErr
 }
 
-// runJob simulates one job.
+// runSlot simulates one pending slot, resuming from the slot's shared
+// warm-up checkpoint when one is available. A checkpoint problem is never
+// fatal — the job falls back to a full warm-up, which is merely slower.
+func (r *Runner) runSlot(s *slot, built, resumed *atomic.Int64) (*cpu.Result, error) {
+	if s.warm != nil {
+		if s.warm.resolve(r.Checkpoints, s.job) {
+			built.Add(1)
+		}
+		if s.warm.err == nil {
+			sim, err := ckpt.Resume(s.job.Config, s.warm.snap, s.job.Bench.Name, s.job.Seed)
+			if err == nil {
+				resumed.Add(1)
+				return sim.Run(), nil
+			}
+		}
+	}
+	return runJob(s.job)
+}
+
+// runJob simulates one job with a full functional warm-up.
 func runJob(j Job) (*cpu.Result, error) {
 	sim, err := cpu.New(j.Config, j.Bench.New(j.Seed))
 	if err != nil {

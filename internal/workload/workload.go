@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/filter"
 	"repro/internal/isa"
 	"repro/internal/xrand"
 )
@@ -62,9 +63,13 @@ func (s *Suite) UnmarshalText(b []byte) error {
 }
 
 // kernel is a synthetic program: each Emit call appends at least one
-// committed-path instruction to the generator's queue.
+// committed-path instruction to the generator's queue. save and load
+// serialise the kernel's mutable interior state for checkpointing (see
+// state.go for the layout contract).
 type kernel interface {
 	emit(g *Generator)
+	save(s *kstate)
+	load(s *kstate)
 }
 
 // Source is the instruction supply the pipeline model consumes: the
@@ -160,6 +165,7 @@ type Generator struct {
 	wpSynth
 	name  string
 	suite Suite
+	seed  uint64
 	k     kernel
 	rng   *xrand.RNG // committed-path randomness
 	queue []isa.Inst
@@ -313,6 +319,7 @@ func (g *Generator) fmul(dst, src1, src2 int16) {
 
 // load emits dst <- mem[addr], with addrSrc the address-producing register.
 func (g *Generator) load(dst, addrSrc int16, addr uint64, size uint8) {
+	filter.AssertIndexable(addr, size, "workload load")
 	if g.warmAccess != nil {
 		g.warmCount++
 		g.noteMem(addr)
@@ -327,6 +334,7 @@ func (g *Generator) load(dst, addrSrc int16, addr uint64, size uint8) {
 
 // store emits mem[addr] <- dataSrc, with addrSrc the address producer.
 func (g *Generator) store(addrSrc, dataSrc int16, addr uint64, size uint8) {
+	filter.AssertIndexable(addr, size, "workload store")
 	if g.warmAccess != nil {
 		g.warmCount++
 		g.noteMem(addr)
@@ -368,7 +376,7 @@ func (p Profile) New(seed uint64) *Generator {
 	// randomness first, then the wrong-path stream is forked — exactly the
 	// construction order every recorded stream was produced with.
 	k := p.build(r)
-	g := &Generator{name: p.Name, suite: p.Suite, k: k, rng: r}
+	g := &Generator{name: p.Name, suite: p.Suite, seed: seed, k: k, rng: r}
 	g.wpSynth.rng = *r.Fork()
 	return g
 }

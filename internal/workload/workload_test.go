@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/filter"
 	"repro/internal/isa"
 )
 
@@ -288,4 +289,27 @@ func TestMixPanicsOnMismatch(t *testing.T) {
 		}
 	}()
 	newMix(nil, []float64{0.5}, nil, nil)
+}
+
+// TestEmittedMemOpsAreIndexable runs every benchmark with the filter debug
+// assertions armed: any emitted access that is misaligned or crosses an
+// 8-byte granule — which would silently break ERT/SSBF soundness — panics
+// inside the emission helpers.
+func TestEmittedMemOpsAreIndexable(t *testing.T) {
+	filter.Debug = true
+	defer func() { filter.Debug = false }()
+	var in isa.Inst
+	for _, p := range append(IntSuite(), FPSuite()...) {
+		g := p.New(1)
+		for i := 0; i < 20_000; i++ {
+			g.Next(&in)
+			if in.IsMem() && !filter.Indexable(in.Addr, in.Size) {
+				t.Fatalf("%s: instruction %d (%#x, %d bytes) is not filter-indexable", p.Name, i, in.Addr, in.Size)
+			}
+			g.WrongPath(&in)
+			if in.IsMem() && !filter.Indexable(in.Addr, in.Size) {
+				t.Fatalf("%s: wrong-path op (%#x, %d bytes) is not filter-indexable", p.Name, in.Addr, in.Size)
+			}
+		}
+	}
 }

@@ -73,3 +73,12 @@ func (r *RNG) Geometric(mean float64) int {
 func (r *RNG) Fork() *RNG {
 	return New(r.Uint64() ^ 0xA5A5A5A55A5A5A5A)
 }
+
+// State returns the raw generator state, for checkpointing. Restoring it
+// with SetState resumes the stream exactly where State captured it.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the raw generator state previously captured by State.
+// Unlike New it applies no seed mixing: the next Uint64 call continues the
+// captured stream.
+func (r *RNG) SetState(s uint64) { r.state = s }
