@@ -43,6 +43,7 @@ func main() {
 	enforceThroughput := flag.Bool("enforce-throughput", false, "fail on throughput loss beyond the band (same-host comparisons only)")
 	gcPercent := flag.Int("gcpercent", 200, "GOGC while measuring (simulation churns short-lived structures; <=0 keeps the default)")
 	resumeCheck := flag.Bool("resume-check", false, "run each point once full-warm-up and once checkpoint-resumed and fail on any results-digest mismatch (no throughput measurement)")
+	traceDir := flag.String("tracedir", "", "drive every point from recorded traces <tracedir>/<bench>-s1.elt (see elsqtrace record -suites); deterministic metrics and digests match the live baseline exactly")
 	sampleIntervals := flag.Int("sample-intervals", 0, "measure each point in this many SimPoint-style intervals (0/1 = contiguous; changes results digests, so compare only against a baseline measured the same way)")
 	sampleBleed := flag.Uint64("sample-bleed", 0, "functional fast-forward instructions between sample intervals")
 	ckptSpeedup := flag.Bool("ckpt-speedup", false, "measure a 3-config sweep sharing one warm-up checkpoint vs three full warm-ups and print the wall-clock ratio")
@@ -62,6 +63,7 @@ func main() {
 	for i := range points {
 		points[i].Config.SampleIntervals = *sampleIntervals
 		points[i].Config.SampleBleedInsts = *sampleBleed
+		points[i].TraceDir = *traceDir
 	}
 	if *pointFilter != "" {
 		re, err := regexp.Compile(*pointFilter)

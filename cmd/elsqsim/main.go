@@ -7,6 +7,7 @@
 //
 //	elsqsim -bench mcf -model fmc -lsq elsq -ert hash -sqm
 //	elsqsim -bench swim -model ooo -lsq conventional
+//	elsqsim -trace swim.elt -insts 30000 -warmup 400000
 //	elsqsim -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	insts := flag.Uint64("insts", 200_000, "measured instructions")
 	warmup := flag.Uint64("warmup", 2_000_000, "warm-up instructions")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	tracePath := flag.String("trace", "", "drive the run from this recorded .elt trace (overrides -bench/-seed with the trace's identity)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -88,11 +91,27 @@ func main() {
 	cfg.MaxInsts = *insts
 	cfg.WarmupInsts = *warmup
 
+	if *tracePath != "" {
+		// The trace is self-describing: it names the benchmark and seed it
+		// records, so the run adopts them. Cached parses the file once;
+		// SourceFor below hits the same entry instead of re-reading it.
+		t, err := trace.Cached(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.TracePath = *tracePath
+		cfg.TraceDigest = t.Meta().Digest
+		*bench, *seed = t.Meta().Bench, t.Meta().Seed
+	}
 	prof, err := workload.ByName(*bench)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	sim, err := cpu.New(cfg, prof.New(*seed))
+	src, err := trace.SourceFor(&cfg, prof, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sim, err := cpu.New(cfg, src)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -24,6 +24,12 @@
 // persists the snapshots so later runs (and cmd/elsqckpt pre-builds) skip
 // even that single warm-up. -sample-intervals/-sample-bleed select
 // SimPoint-style multi-interval measurement (see internal/config).
+//
+// Trace-driven sweeps: -axis trace=a.elt,b.elt sweeps over recorded .elt
+// files directly (the named benchmarks/seeds must match each recording),
+// while -tracedir binds every job to <dir>/<bench>-s<seed>.elt, the layout
+// elsqtrace record -suites writes. Either way jobs are content-addressed by
+// the trace digest, and replay is bit-identical to live generation.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -52,6 +59,7 @@ func main() {
 	outPath := flag.String("out", "", "write the JSON artifact to this file (- for stdout)")
 	csvPath := flag.String("csv", "", "write the CSV artifact to this file (- for stdout)")
 	cacheDir := flag.String("cachedir", "", "persistent result-cache directory (empty = in-memory only)")
+	traceDir := flag.String("tracedir", "", "drive every job from the recorded trace <tracedir>/<bench>-s<seed>.elt (see elsqtrace record -suites) instead of live generation")
 	useCkpt := flag.Bool("ckpt", true, "share one warm-up checkpoint across configs with equal warm-up identity (bit-identical results, one warm-up per benchmark/seed instead of one per job)")
 	ckptDir := flag.String("ckptdir", "", "persistent checkpoint-store directory (empty = in-memory only; implies -ckpt)")
 	ckptMax := flag.String("ckpt-max-bytes", "2G", "checkpoint store size budget for -ckptdir (K/M/G suffixes; 0 = unbounded)")
@@ -97,6 +105,17 @@ func main() {
 	jobs, err := grid.Expand()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *traceDir != "" {
+		// Bind every job to its recording and content-address it before any
+		// cache key is derived (a per-job trace file is orthogonal to the
+		// config axes, so this happens after expansion).
+		for i := range jobs {
+			jobs[i].Config.TracePath = trace.BenchPath(*traceDir, jobs[i].Bench.Name, jobs[i].Seed)
+			if err := trace.Resolve(&jobs[i].Config); err != nil {
+				fatalf("%v", err)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d jobs (%d grid points x %d benchmarks x %d seeds)\n",
 		len(jobs), len(jobs)/(len(grid.Benches)*len(grid.Seeds)), len(grid.Benches), len(grid.Seeds))

@@ -11,6 +11,38 @@ import (
 	"testing"
 )
 
+// TestElsqtraceRecordVerify builds cmd/elsqtrace and drives a tiny
+// record→info→verify -live round trip, so the trace CLI (and the recorded
+// format behind it) stays exercised in CI alongside the examples.
+func TestElsqtraceRecordVerify(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "elsqtrace")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/elsqtrace")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/elsqtrace failed: %v\n%s", err, out)
+	}
+
+	tracePath := filepath.Join(dir, "gzip.elt")
+	for _, step := range [][]string{
+		{"record", "-bench", "gzip", "-seed", "1", "-n", "4000", "-out", tracePath},
+		{"info", tracePath},
+		{"verify", "-live", tracePath},
+		{"cat", "-limit", "5", tracePath},
+	} {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, step...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("elsqtrace %v exited with %v\nstderr: %s", step, err, stderr.String())
+		}
+		if stdout.Len() == 0 {
+			t.Errorf("elsqtrace %v produced no output", step)
+		}
+	}
+}
+
 func TestExamplesBuildAndRun(t *testing.T) {
 	examples := []string{"quickstart", "largewindow", "pointerchase", "filtertuning"}
 	binDir := t.TempDir()

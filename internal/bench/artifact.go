@@ -116,6 +116,7 @@ type Regression struct {
 	Detail string
 }
 
+// String renders the regression as "point: [kind] detail".
 func (r Regression) String() string {
 	return fmt.Sprintf("%s: [%s] %s", r.Point, r.Kind, r.Detail)
 }
@@ -154,17 +155,19 @@ func Compare(baseline, fresh *Artifact, tol Tolerance) []Regression {
 				Detail: fmt.Sprintf("results digest %s != baseline %s (IPC %.4f vs %.4f): simulation output changed — if intended, regenerate the baseline and bump the sweep cache version",
 					cur.ResultsDigest, old.ResultsDigest, cur.MeanIPC, old.MeanIPC)})
 		}
+		// Tolerance bands are fractions; render them with %.3g so non-integer
+		// percentages survive (0.125 is "12.5%", not a truncated "12%").
 		if old.AllocsPerInst >= 0 && cur.AllocsPerInst > old.AllocsPerInst*(1+tol.Allocs)+0.01 {
 			regs = append(regs, Regression{Point: old.Name, Kind: "allocs",
-				Detail: fmt.Sprintf("allocs/inst %.4f exceeds baseline %.4f by more than %d%%",
-					cur.AllocsPerInst, old.AllocsPerInst, int(tol.Allocs*100))})
+				Detail: fmt.Sprintf("allocs/inst %.4f exceeds baseline %.4f by more than %.3g%%",
+					cur.AllocsPerInst, old.AllocsPerInst, tol.Allocs*100)})
 		}
 		if tol.EnforceThroughput && old.InstsPerSecMedian > 0 {
 			loss := 1 - cur.InstsPerSecMedian/old.InstsPerSecMedian
 			if loss > tol.Throughput {
 				regs = append(regs, Regression{Point: old.Name, Kind: "throughput",
-					Detail: fmt.Sprintf("median %.2f M insts/s is %.0f%% below baseline %.2f M insts/s (band %d%%)",
-						cur.InstsPerSecMedian/1e6, loss*100, old.InstsPerSecMedian/1e6, int(tol.Throughput*100))})
+					Detail: fmt.Sprintf("median %.2f M insts/s is %.0f%% below baseline %.2f M insts/s (band %.3g%%)",
+						cur.InstsPerSecMedian/1e6, loss*100, old.InstsPerSecMedian/1e6, tol.Throughput*100)})
 			}
 		}
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,13 @@ type Point struct {
 	Budget Budget
 	// Config is the full configuration (budget already applied).
 	Config config.Config
+	// TraceDir, when set, drives every benchmark of the point from the
+	// recorded trace at trace.BenchPath(TraceDir, bench, 1) instead of the
+	// live generator. Replay is bit-identical to live generation, so the
+	// deterministic quantities (results digest, IPC, locality) must match a
+	// live baseline exactly — only throughput and allocation behaviour
+	// change. cmd/elsqtrace record -suites writes a compatible directory.
+	TraceDir string
 }
 
 // scheme is a matrix row: a label plus the configuration it denotes.
@@ -187,7 +195,11 @@ func (p Point) Run(reps int) (PointResult, error) {
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for _, prof := range profs {
-			sim, err := cpu.New(p.Config, prof.New(1))
+			src, err := p.source(prof)
+			if err != nil {
+				return pr, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+			}
+			sim, err := cpu.New(p.config(prof), src)
 			if err != nil {
 				return pr, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
 			}
@@ -216,6 +228,23 @@ func (p Point) Run(reps int) (PointResult, error) {
 	pr.StoreLocality30 = sf / n
 	pr.ResultsDigest = digestResults(results)
 	return pr, nil
+}
+
+// config returns the point's configuration bound to one benchmark: the
+// shared configuration, plus the benchmark's trace binding in TraceDir
+// mode.
+func (p Point) config(prof workload.Profile) config.Config {
+	cfg := p.Config
+	if p.TraceDir != "" {
+		cfg.TracePath = trace.BenchPath(p.TraceDir, prof.Name, 1)
+	}
+	return cfg
+}
+
+// source returns the workload source one benchmark of the point runs from.
+func (p Point) source(prof workload.Profile) (workload.Source, error) {
+	cfg := p.config(prof)
+	return trace.SourceFor(&cfg, prof, 1)
 }
 
 func medianNS(ns []int64) int64 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -187,6 +189,110 @@ func TestCompare(t *testing.T) {
 			t.Errorf("want one missing-point, got %v", regs)
 		}
 	})
+}
+
+// TestCompareTolaranceBandFormatting pins the band rendering in regression
+// messages: fractional percentages must survive (0.125 is a "12.5%" band,
+// not a truncated "12%"), and round bands stay clean.
+func TestCompareTolaranceBandFormatting(t *testing.T) {
+	cur := basePoint()
+	cur.InstsPerSecMedian = 20e6
+	cur.AllocsPerInst = 0.5
+	tol := Tolerance{Throughput: 0.125, EnforceThroughput: true, Allocs: 0.105}
+	regs := Compare(mkArtifact(basePoint()), mkArtifact(cur), tol)
+	if len(regs) != 2 {
+		t.Fatalf("want allocs + throughput regressions, got %v", regs)
+	}
+	details := regs[0].Detail + "\n" + regs[1].Detail
+	for _, want := range []string{"10.5%", "12.5%"} {
+		if !strings.Contains(details, want) {
+			t.Errorf("band %q missing from regression messages:\n%s", want, details)
+		}
+	}
+	for _, stale := range []string{"(band 12%)", "than 10%"} {
+		if strings.Contains(details, stale) {
+			t.Errorf("truncated band %q still rendered:\n%s", stale, details)
+		}
+	}
+
+	// Round bands render without spurious decimals.
+	regs = Compare(mkArtifact(basePoint()), mkArtifact(cur),
+		Tolerance{Throughput: 0.25, EnforceThroughput: true, Allocs: 0.10})
+	details = regs[0].Detail + "\n" + regs[1].Detail
+	for _, want := range []string{"10%", "25%"} {
+		if !strings.Contains(details, want) {
+			t.Errorf("band %q missing from regression messages:\n%s", want, details)
+		}
+	}
+}
+
+// TestPointRunFromTraces checks the trace-driven bench mode: a point run
+// from a directory of recordings produces the exact results digest of the
+// live-generator run — the deterministic class of the regression gate is
+// preserved under replay.
+func TestPointRunFromTraces(t *testing.T) {
+	p := Point{
+		Name:   "elsq/int/tiny",
+		Scheme: "elsq",
+		Suite:  workload.SuiteInt,
+		Budget: Budget{Name: "tiny", Measure: 1_000, Warmup: 4_000},
+		Config: config.Default().WithBudget(1_000, 4_000),
+	}
+	dir := t.TempDir()
+	for _, prof := range workload.SuiteOf(p.Suite) {
+		f, err := os.Create(trace.BenchPath(dir, prof.Name, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := trace.NewRecorder(f, prof.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Record(p.Budget.Measure + p.Budget.Warmup); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.TraceDir = dir
+	traced, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.ResultsDigest != live.ResultsDigest {
+		t.Errorf("trace-driven digest %s != live digest %s", traced.ResultsDigest, live.ResultsDigest)
+	}
+	if traced.MeanIPC != live.MeanIPC {
+		t.Errorf("trace-driven IPC %v != live %v", traced.MeanIPC, live.MeanIPC)
+	}
+
+	// The resume gate must exercise the trace-backed checkpoint path too:
+	// digests of the trace-driven full and resumed runs agree with each
+	// other and with the live run.
+	chk, err := p.VerifyResume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.OK() {
+		t.Errorf("trace-driven resume digest %s != full digest %s", chk.ResumedDigest, chk.FullDigest)
+	}
+	if chk.FullDigest != live.ResultsDigest {
+		t.Errorf("trace-driven resume-check digest %s != live digest %s", chk.FullDigest, live.ResultsDigest)
+	}
+
+	// A missing recording fails with the benchmark named, not a zero result.
+	p.TraceDir = t.TempDir()
+	if _, err := p.Run(1); err == nil {
+		t.Error("point ran with an empty trace directory")
+	}
 }
 
 // TestVerifyResume gates the checkpoint determinism promise at the bench

@@ -39,7 +39,8 @@ func (c ResumeCheck) OK() bool { return c.FullDigest == c.ResumedDigest }
 // VerifyResume runs the point's whole suite once with full functional
 // warm-up and once resumed from freshly built checkpoints, and returns both
 // results digests. Any mismatch means checkpoint restore failed to
-// reproduce warm state bit-exactly.
+// reproduce warm state bit-exactly. Like Run, it honours TraceDir: a
+// trace-driven point verifies the trace-backed build/resume path.
 func (p Point) VerifyResume() (ResumeCheck, error) {
 	out := ResumeCheck{Name: p.Name}
 	profs := workload.SuiteOf(p.Suite)
@@ -47,7 +48,11 @@ func (p Point) VerifyResume() (ResumeCheck, error) {
 	start := time.Now()
 	var full []*cpu.Result
 	for _, prof := range profs {
-		sim, err := cpu.New(p.Config, prof.New(1))
+		src, err := p.source(prof)
+		if err != nil {
+			return out, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
+		sim, err := cpu.New(p.config(prof), src)
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
 		}
@@ -59,11 +64,12 @@ func (p Point) VerifyResume() (ResumeCheck, error) {
 	start = time.Now()
 	var resumed []*cpu.Result
 	for _, prof := range profs {
-		snap, err := ckpt.Build(&p.Config, prof, 1)
+		cfg := p.config(prof)
+		snap, err := ckpt.Build(&cfg, prof, 1)
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: build checkpoint: %w", p.Name, prof.Name, err)
 		}
-		sim, err := ckpt.Resume(p.Config, snap, prof.Name, 1)
+		sim, err := ckpt.Resume(cfg, snap, prof.Name, 1)
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: resume: %w", p.Name, prof.Name, err)
 		}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -72,22 +73,28 @@ func Key(cfg *config.Config, bench string, seed uint64) string {
 
 // Build runs the functional warm-up for (cfg, prof, seed) and captures the
 // resulting snapshot. It performs exactly the warm-up a fresh cpu.Sim.Run
-// would: the same source, the same access sequence, the same hierarchy
-// counters.
+// would: the same source — the live generator, or a trace replay when cfg
+// is trace-driven — the same access sequence, the same hierarchy counters.
+// Trace-built snapshots carry a replay-position source state instead of
+// generator kernel state; cfg.WarmKey() folds the trace identity into the
+// store key, so the two kinds can never be confused.
 func Build(cfg *config.Config, prof workload.Profile, seed uint64) (*Snapshot, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := prof.New(seed)
+	src, err := trace.SourceFor(cfg, prof, seed)
+	if err != nil {
+		return nil, err
+	}
 	h := mem.NewHierarchy(cfg)
-	g.Warmup(cfg.WarmupInsts, func(addr uint64) { h.Access(addr) })
+	src.Warmup(cfg.WarmupInsts, func(addr uint64) { h.Access(addr) })
 	return &Snapshot{
 		Version:     FormatVersion,
 		Key:         Key(cfg, prof.Name, seed),
 		Bench:       prof.Name,
 		Seed:        seed,
 		WarmupInsts: cfg.WarmupInsts,
-		Source:      g.Snapshot(),
+		Source:      src.Snapshot(),
 		Hier:        h.State(),
 	}, nil
 }
@@ -108,8 +115,10 @@ func (s *Snapshot) Check(cfg *config.Config, bench string, seed uint64) error {
 	return nil
 }
 
-// NewSource returns a fresh workload source positioned at the snapshot:
-// a generator restored in O(state) rather than O(WarmupInsts).
+// NewSource returns a fresh live-generator source positioned at the
+// snapshot: a generator restored in O(state) rather than O(WarmupInsts).
+// It only serves snapshots built from live generation (those carry kernel
+// state); Resume routes trace-built snapshots to a trace replay instead.
 func (s *Snapshot) NewSource() (*workload.Generator, error) {
 	prof, err := workload.ByName(s.Bench)
 	if err != nil {
@@ -123,17 +132,35 @@ func (s *Snapshot) NewSource() (*workload.Generator, error) {
 }
 
 // Resume builds a simulator for cfg started from the snapshot instead of a
-// functional warm-up. Run on the returned simulator produces results
-// bit-identical to a fresh run's.
+// functional warm-up. Trace-driven configs resume onto a replay of their
+// trace; everything else resumes onto a restored live generator. Run on
+// the returned simulator produces results bit-identical to a fresh run's.
 func Resume(cfg config.Config, snap *Snapshot, bench string, seed uint64) (*cpu.Sim, error) {
 	if err := snap.Check(&cfg, bench, seed); err != nil {
 		return nil, err
 	}
-	g, err := snap.NewSource()
-	if err != nil {
-		return nil, err
+	var src workload.Source
+	if cfg.TracePath != "" {
+		prof, err := workload.ByName(bench)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		ts, err := trace.SourceFor(&cfg, prof, seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := ts.Restore(snap.Source); err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		src = ts
+	} else {
+		g, err := snap.NewSource()
+		if err != nil {
+			return nil, err
+		}
+		src = g
 	}
-	sim, err := cpu.New(cfg, g)
+	sim, err := cpu.New(cfg, src)
 	if err != nil {
 		return nil, err
 	}

@@ -245,6 +245,22 @@ type Config struct {
 	// above (ignored unless SampleIntervals > 1).
 	SampleBleedInsts uint64 `json:",omitempty"`
 
+	// TracePath, when set, drives the simulation from the recorded .elt
+	// trace at this path (internal/trace) instead of the live synthetic
+	// generator: the committed-path stream is read from the file and the
+	// wrong-path stream re-synthesised from the recorded initial state, so
+	// results are bit-identical to the run the trace was recorded from. The
+	// field is omitted from the canonical encoding when unset, so legacy
+	// configs keep their cache identity.
+	TracePath string `json:",omitempty"`
+	// TraceDigest is the content digest of that trace (trace.Meta.Digest),
+	// stamped by trace.Resolve. It — not the path — is what identifies a
+	// trace-driven run: Canonical() drops TracePath whenever a digest is
+	// present, so Hash(), WarmKey() and every cache key derived from them
+	// are content-addressed (the same trace under two paths shares one
+	// identity; a replaced file under one path does not).
+	TraceDigest string `json:",omitempty"`
+
 	// WarmupInsts is the number of committed instructions executed before
 	// measurement starts, so caches and predictor-equivalent state reach
 	// steady state (the paper measures SimPoints of already-warm
@@ -388,19 +404,36 @@ func (c *Config) Intervals() (n int, bleed uint64) {
 }
 
 // WarmKey returns a stable digest of exactly the fields the functional
-// warm-up depends on: cache geometry and the warm-up budget. Two configs
-// with equal WarmKey leave bit-identical post-warm-up state for a given
-// (benchmark, seed) — latencies, queue sizes, the LSQ scheme, ERT geometry
-// and the migrate threshold all shape timing only — so a checkpoint built
-// under one serves every other (internal/ckpt keys its store with this).
+// warm-up depends on: cache geometry, the warm-up budget, and — for
+// trace-driven configs — the trace identity. Two configs with equal
+// WarmKey leave bit-identical post-warm-up state for a given (benchmark,
+// seed) — latencies, queue sizes, the LSQ scheme, ERT geometry and the
+// migrate threshold all shape timing only — so a checkpoint built under
+// one serves every other (internal/ckpt keys its store with this). The
+// trace identity matters because a trace-built checkpoint carries a
+// replay-position snapshot rather than generator kernel state: it must
+// never be resumed by a live-generator run, nor by a different trace.
 func (c *Config) WarmKey() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "warm1|l1:%d/%d/%d|l2:%d/%d/%d|w:%d",
 		c.L1.SizeBytes, c.L1.Ways, c.L1.LineBytes,
 		c.L2.SizeBytes, c.L2.Ways, c.L2.LineBytes,
 		c.WarmupInsts)
+	if id := c.traceIdentity(); id != "" {
+		fmt.Fprintf(h, "|tr:%s", id)
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
+}
+
+// traceIdentity is the string that identifies a trace-driven run: the
+// content digest when resolved, the path as a fallback when not (callers
+// that key caches should trace.Resolve first), empty for live generation.
+func (c *Config) traceIdentity() string {
+	if c.TraceDigest != "" {
+		return c.TraceDigest
+	}
+	return c.TracePath
 }
 
 // Name returns a short human-readable identifier for the configuration, in

@@ -200,3 +200,50 @@ func TestCanonicalNormalisesInertSampling(t *testing.T) {
 		t.Error("bleed with real intervals must change the canonical identity")
 	}
 }
+
+// TestTraceIdentity pins the trace-field identity rules: an unset trace
+// leaves the legacy canonical encoding byte-identical (golden digests,
+// sweep/ckpt cache keys survive the field's introduction), a resolved
+// digest content-addresses the config regardless of the file's path, and
+// the trace identity separates warm-up keys.
+func TestTraceIdentity(t *testing.T) {
+	base := Default()
+	// The canonical encoding of a non-trace config must not mention the
+	// trace fields at all — that is what keeps every pre-trace cache key
+	// and golden digest valid.
+	if b := base.Canonical(); strings.Contains(string(b), "Trace") {
+		t.Errorf("trace-less canonical encoding mentions the trace fields: %s", b)
+	}
+
+	resolvedA := Default()
+	resolvedA.TracePath = "/tmp/a.elt"
+	resolvedA.TraceDigest = "00112233445566778899aabbccddeeff"
+	resolvedB := Default()
+	resolvedB.TracePath = "/elsewhere/b.elt"
+	resolvedB.TraceDigest = resolvedA.TraceDigest
+	if resolvedA.Hash() != resolvedB.Hash() {
+		t.Error("same trace content under different paths split the canonical identity")
+	}
+	if resolvedA.Hash() == base.Hash() {
+		t.Error("a trace-driven config shares the live config's identity")
+	}
+	if resolvedA.WarmKey() == base.WarmKey() {
+		t.Error("a trace-driven config shares the live config's warm key")
+	}
+	otherDigest := resolvedA
+	otherDigest.TraceDigest = "ffeeddccbbaa99887766554433221100"
+	if otherDigest.Hash() == resolvedA.Hash() {
+		t.Error("different trace contents share a canonical identity")
+	}
+	if otherDigest.WarmKey() == resolvedA.WarmKey() {
+		t.Error("different trace contents share a warm key")
+	}
+
+	// Unresolved configs fall back to path identity (better than colliding
+	// with live generation; Resolve upgrades them to content addressing).
+	unresolved := Default()
+	unresolved.TracePath = "/tmp/a.elt"
+	if unresolved.Hash() == base.Hash() || unresolved.WarmKey() == base.WarmKey() {
+		t.Error("an unresolved trace config collides with the live config")
+	}
+}

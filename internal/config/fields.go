@@ -182,6 +182,17 @@ func fieldRegistry() []FieldSpec {
 		uint64Field("warmup", "functional warm-up instructions", func(c *Config) *uint64 { return &c.WarmupInsts }),
 		intField("sample.intervals", "SimPoint-style measured intervals per benchmark (0/1 = contiguous)", func(c *Config) *int { return &c.SampleIntervals }),
 		uint64Field("sample.bleed", "functional fast-forward between sample intervals", func(c *Config) *uint64 { return &c.SampleBleedInsts }),
+		{
+			Name: "trace", Doc: "drive the run from this recorded .elt trace file (empty = live generation)",
+			Set: func(c *Config, v string) error {
+				// A new path invalidates any previously resolved digest; the
+				// runner (sweep.Grid.Expand, bench) re-resolves before keying.
+				c.TracePath = v
+				c.TraceDigest = ""
+				return nil
+			},
+			Get: func(c *Config) string { return c.TracePath },
+		},
 	}
 }
 

@@ -14,12 +14,18 @@ import (
 // config record embedded in sweep artifacts. Semantically inert sampling
 // settings are normalised away first — SampleIntervals 0 and 1 both mean a
 // contiguous measurement and SampleBleedInsts is dead without at least two
-// intervals — so equivalent configs share one identity.
+// intervals — so equivalent configs share one identity. A trace-driven
+// config with a resolved TraceDigest canonicalises to the digest alone
+// (TracePath dropped): the digest names the instruction stream, the path
+// merely locates a copy of it.
 func (c *Config) Canonical() []byte {
 	cc := *c
 	if cc.SampleIntervals <= 1 {
 		cc.SampleIntervals = 0
 		cc.SampleBleedInsts = 0
+	}
+	if cc.TraceDigest != "" {
+		cc.TracePath = ""
 	}
 	b, err := json.Marshal(&cc)
 	if err != nil {

@@ -42,6 +42,101 @@ func TestMeshDistanceProperties(t *testing.T) {
 	}
 }
 
+// TestMeshEdgeGeometries covers degenerate shapes: single-row and
+// single-column meshes (where one Manhattan axis is pinned to zero), a
+// single node, and corner-to-corner extremes on tall/wide rectangles.
+func TestMeshEdgeGeometries(t *testing.T) {
+	t.Run("1xN row", func(t *testing.T) {
+		m := NewMesh(8, 1, 1)
+		if m.Size() != 8 {
+			t.Fatalf("Size = %d, want 8", m.Size())
+		}
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				want := a - b
+				if want < 0 {
+					want = -want
+				}
+				if got := m.Distance(a, b); got != want {
+					t.Errorf("Distance(%d,%d) = %d, want %d", a, b, got, want)
+				}
+			}
+		}
+		if got := m.Distance(0, 7); got != 7 {
+			t.Errorf("end-to-end distance = %d, want 7", got)
+		}
+	})
+	t.Run("Nx1 column", func(t *testing.T) {
+		m := NewMesh(1, 8, 1)
+		if m.Size() != 8 {
+			t.Fatalf("Size = %d, want 8", m.Size())
+		}
+		// With width 1 every index is a row: distance is pure vertical hops.
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				want := a - b
+				if want < 0 {
+					want = -want
+				}
+				if got := m.Distance(a, b); got != want {
+					t.Errorf("Distance(%d,%d) = %d, want %d", a, b, got, want)
+				}
+			}
+		}
+	})
+	t.Run("single node", func(t *testing.T) {
+		m := NewMesh(1, 1, 5)
+		if m.Size() != 1 || m.Distance(0, 0) != 0 || m.Traverse(0, 0) != 0 {
+			t.Error("1x1 mesh is not free to traverse")
+		}
+		if m.Hops != 0 {
+			t.Errorf("self-traversal recorded %d hops", m.Hops)
+		}
+	})
+	t.Run("corner to corner", func(t *testing.T) {
+		for _, g := range []struct{ w, h, want int }{
+			{4, 4, 6},   // square
+			{8, 2, 8},   // wide
+			{2, 8, 8},   // tall
+			{16, 1, 15}, // degenerate row
+		} {
+			m := NewMesh(g.w, g.h, 1)
+			last := m.Size() - 1
+			if got := m.Distance(0, last); got != g.want {
+				t.Errorf("%dx%d corner distance = %d, want %d", g.w, g.h, got, g.want)
+			}
+			if got := m.Distance(last, 0); got != g.want {
+				t.Errorf("%dx%d reverse corner distance = %d, want %d", g.w, g.h, got, g.want)
+			}
+		}
+	})
+}
+
+// TestMeshHopAccumulation checks Traverse's hop accounting across a
+// sequence of traversals, including zero-distance and zero-cost cases.
+func TestMeshHopAccumulation(t *testing.T) {
+	m := NewMesh(4, 4, 3)
+	wantHops := uint64(0)
+	for _, pair := range [][2]int{{0, 15}, {15, 0}, {5, 5}, {0, 1}, {3, 12}} {
+		d := m.Distance(pair[0], pair[1])
+		if lat := m.Traverse(pair[0], pair[1]); lat != 3*d {
+			t.Errorf("Traverse(%d,%d) = %d cycles, want %d", pair[0], pair[1], lat, 3*d)
+		}
+		wantHops += uint64(d)
+		if m.Hops != wantHops {
+			t.Errorf("after Traverse(%d,%d): Hops = %d, want %d", pair[0], pair[1], m.Hops, wantHops)
+		}
+	}
+	// A free (hopCost 0) mesh still accounts hops.
+	free := NewMesh(4, 4, 0)
+	if lat := free.Traverse(0, 15); lat != 0 {
+		t.Errorf("zero-cost traverse latency = %d", lat)
+	}
+	if free.Hops != 6 {
+		t.Errorf("zero-cost traverse recorded %d hops, want 6", free.Hops)
+	}
+}
+
 func TestMeshTraverse(t *testing.T) {
 	m := NewMesh(4, 4, 2)
 	if lat := m.Traverse(0, 15); lat != 12 {
@@ -79,6 +174,9 @@ func TestConstructorPanics(t *testing.T) {
 		func() { NewMesh(0, 4, 1) },
 		func() { NewMesh(4, 0, 1) },
 		func() { NewMesh(4, 4, -1) },
+		func() { NewMesh(-1, 4, 1) },
+		func() { NewMesh(4, -1, 1) },
+		func() { NewMesh(0, 0, 0) },
 		func() { NewBus(-1) },
 	} {
 		func() {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -135,6 +136,13 @@ func (g Grid) Expand() ([]Job, error) {
 		}
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep: invalid point %s: %w", labelString(labels), err)
+		}
+		// Content-address trace-driven points before any key is derived:
+		// jobs must be identified by what the trace contains, not where it
+		// happens to live (and a missing or corrupt file fails here, with
+		// the point named, rather than mid-run).
+		if err := trace.Resolve(&cfg); err != nil {
+			return nil, fmt.Errorf("sweep: point %s: %w", labelString(labels), err)
 		}
 		for _, bench := range g.Benches {
 			for _, seed := range seeds {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -320,9 +321,15 @@ func (r *Runner) runSlot(s *slot, built, resumed *atomic.Int64) (*cpu.Result, er
 	return runJob(s.job)
 }
 
-// runJob simulates one job with a full functional warm-up.
+// runJob simulates one job with a full functional warm-up, driven by the
+// live generator or — for trace-driven configs — a replay of the job's
+// recorded trace.
 func runJob(j Job) (*cpu.Result, error) {
-	sim, err := cpu.New(j.Config, j.Bench.New(j.Seed))
+	src, err := trace.SourceFor(&j.Config, j.Bench, j.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
+	}
+	sim, err := cpu.New(j.Config, src)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
 	}
