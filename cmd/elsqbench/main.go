@@ -48,6 +48,7 @@ func main() {
 	sampleBleed := flag.Uint64("sample-bleed", 0, "functional fast-forward instructions between sample intervals")
 	ckptSpeedup := flag.Bool("ckpt-speedup", false, "measure a 3-config sweep sharing one warm-up checkpoint vs three full warm-ups and print the wall-clock ratio")
 	speedupBench := flag.String("ckpt-speedup-bench", "swim", "benchmark for -ckpt-speedup")
+	oracleCertify := flag.Bool("oracle", false, "certify each point against the differential correctness oracle (internal/oracle) instead of measuring; fails on any committed-load value mismatch")
 	flag.Parse()
 
 	if *gcPercent > 0 {
@@ -84,6 +85,10 @@ func main() {
 
 	if *resumeCheck {
 		runResumeCheck(points)
+		return
+	}
+	if *oracleCertify {
+		runOracleCertify(points)
 		return
 	}
 
@@ -133,6 +138,29 @@ func main() {
 		}
 		fmt.Println("no regressions against", *compare)
 	}
+}
+
+// runOracleCertify certifies every selected point's committed-load values
+// against the sequential reference model and fails on any mismatch.
+func runOracleCertify(points []bench.Point) {
+	failed := false
+	for _, p := range points {
+		rep, err := p.Certify()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = fmt.Sprintf("%d VIOLATION(S): %s", rep.Violations, rep.First)
+			failed = true
+		}
+		fmt.Printf("%-18s %9d loads / %9d stores / %10d bytes certified  %s\n",
+			rep.Name, rep.Loads, rep.Stores, rep.CheckedBytes, status)
+	}
+	if failed {
+		fatalf("oracle certification failed")
+	}
+	fmt.Println("oracle: every committed load matches the sequential reference")
 }
 
 // runResumeCheck verifies the checkpoint determinism contract over the

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/oracle"
 	"repro/internal/workload"
 )
 
@@ -38,9 +39,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Certify the run against the sequential reference: every committed
+		// load must observe exactly the bytes program order requires.
+		check := oracle.New(0)
+		sim.SetCommitObserver(check)
 		r := sim.Run()
-		fmt.Printf("%-14s IPC %.3f  (%d insts, %d cycles)\n",
-			r.Config, r.IPC, r.Committed, r.Cycles)
+		if err := check.Err(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s IPC %.3f  (%d insts, %d cycles; %d loads oracle-certified)\n",
+			r.Config, r.IPC, r.Committed, r.Cycles, check.Loads())
 		if cfg.Model == config.ModelFMC {
 			fmt.Printf("%-14s epochs allocated on average: %.2f, LL-LSQ idle %.0f%%\n",
 				"", r.AvgEpochs, 100*r.LLIdleFrac)

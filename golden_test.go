@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/oracle"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -93,9 +94,15 @@ func goldenPoints() []sweep.Job {
 
 func runGoldenPoint(t *testing.T, j sweep.Job) goldenResult {
 	t.Helper()
-	res, err := Simulate(j.Config, j.Bench.Name, j.Seed)
+	// Every golden point runs under the differential oracle: the pinned
+	// results must also be memory-ordering correct, or the fixture would
+	// lock a latent bug in.
+	res, ck, err := oracle.Run(j.Config, j.Bench.Name, j.Seed)
 	if err != nil {
 		t.Fatalf("%s/%s seed %d: %v", j.Config.Name(), j.Bench.Name, j.Seed, err)
+	}
+	if err := ck.Err(); err != nil {
+		t.Errorf("%s/%s seed %d: %v", j.Config.Name(), j.Bench.Name, j.Seed, err)
 	}
 	return goldenResult{
 		Bench:     j.Bench.Name,

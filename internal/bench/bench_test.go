@@ -336,3 +336,24 @@ func TestCheckpointSpeedup(t *testing.T) {
 		t.Errorf("warm-store speedup %.2fx, want >= 1.3x at a warm-up-dominated budget", res.WarmSpeedup())
 	}
 }
+
+// Every point of the smoke matrix must pass differential-oracle
+// certification: the committed-load values of all four schemes over both
+// suites match the sequential reference byte-for-byte. The budget is
+// reduced — the test pins the structural wiring; the full smoke-budget
+// certification runs in CI via `elsqbench -smoke -oracle`.
+func TestSmokeMatrixCertifiedByOracle(t *testing.T) {
+	for _, p := range Matrix(true) {
+		p.Config = p.Config.WithBudget(2000, 5000)
+		rep, err := p.Certify()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s: %d violation(s): %s", p.Name, rep.Violations, rep.First)
+		}
+		if rep.Loads == 0 || rep.CheckedBytes == 0 {
+			t.Errorf("%s: oracle certified nothing (loads %d, bytes %d)", p.Name, rep.Loads, rep.CheckedBytes)
+		}
+	}
+}

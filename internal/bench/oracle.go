@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// OracleReport summarises one point's differential-oracle certification:
+// every benchmark of the point's suite simulated once with the sequential
+// reference model attached to the committed memory-operation stream.
+type OracleReport struct {
+	// Name is the point's artifact key.
+	Name string
+	// Loads and Stores are the committed memory ops certified across the
+	// suite; CheckedBytes the total load bytes compared byte-wise.
+	Loads, Stores, CheckedBytes uint64
+	// Violations is the total number of byte-level mismatches.
+	Violations uint64
+	// First describes the first violation encountered ("" when clean).
+	First string
+}
+
+// OK reports whether the certification found no violations.
+func (r OracleReport) OK() bool { return r.Violations == 0 }
+
+// Certify runs every benchmark of the point once with the differential
+// oracle attached and aggregates the certification. It is independent of
+// the performance measurement path: Run stays observer-free so throughput
+// and allocation figures never include oracle overhead.
+func (p Point) Certify() (OracleReport, error) {
+	rep := OracleReport{Name: p.Name}
+	for _, prof := range workload.SuiteOf(p.Suite) {
+		src, err := p.source(prof)
+		if err != nil {
+			return rep, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
+		sim, err := cpu.New(p.config(prof), src)
+		if err != nil {
+			return rep, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
+		ck := oracle.New(1)
+		sim.SetCommitObserver(ck)
+		sim.Run()
+		rep.Loads += ck.Loads()
+		rep.Stores += ck.Stores()
+		rep.CheckedBytes += ck.CheckedBytes()
+		rep.Violations += ck.ViolationCount()
+		if rep.First == "" {
+			if err := ck.Err(); err != nil {
+				rep.First = fmt.Sprintf("%s: %v", prof.Name, err)
+			}
+		}
+	}
+	return rep, nil
+}

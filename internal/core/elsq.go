@@ -69,6 +69,15 @@ type ELSQ struct {
 	// perform no violation searches and the Load-ERT is absent.
 	noLQ bool
 
+	// bypassed[p] marks a live bank whose ERT state is incomplete: a store
+	// bypassed filter insertion under pathological line-lock pressure, or
+	// forceUnlockOne released one of the bank's locked lines (the line may
+	// be evicted, losing the line-indexed filter entry). Searches must
+	// conservatively visit such banks regardless of the mask, or a load
+	// could miss the youngest matching store and silently read stale data.
+	// Cleared when the bank is reclaimed or squashed.
+	bypassed []bool
+
 	c *stats.Counters
 
 	// Interned counter handles for the per-operation paths.
@@ -116,6 +125,7 @@ func New(cfg *config.Config, bus *noc.Bus, mesh *noc.Mesh, l1 *mem.Cache, opts .
 		activeVirtual: make([]int64, cfg.NumEpochs),
 		releaseAt:     make([]int64, cfg.NumEpochs),
 		lockedSlots:   make([][]mem.LineSlot, cfg.NumEpochs),
+		bypassed:      make([]bool, cfg.NumEpochs),
 		c:             stats.NewCounters(),
 		matchGen:      make([]uint64, cfg.NumEpochs),
 		matchV:        make([]int64, cfg.NumEpochs),
@@ -180,6 +190,7 @@ func (e *ELSQ) claim(phys int, v int64) {
 	}
 	e.activeVirtual[phys] = v
 	e.releaseAt[phys] = 0
+	e.bypassed[phys] = false
 }
 
 // liveAt reports whether bank phys holds a still-uncommitted epoch at t.
@@ -193,6 +204,7 @@ func (e *ELSQ) liveAt(phys int, t int64) bool {
 // caller must squash instead (ok=false).
 func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
 	filter.AssertIndexable(op.Addr, op.Size, "ert insert")
+	filter.AssertCommittedPath(op.Seq, "ert insert")
 	phys := e.physical(int64(op.Epoch))
 	e.claim(phys, int64(op.Epoch))
 	idx := 0
@@ -215,7 +227,10 @@ func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
 					// Pathological set pressure: give up and bypass the
 					// filter for this op (counted; negligible at sane
 					// associativity, dominant at 1-way — Figure 8b/c).
+					// The bank's filter state is now incomplete, so
+					// searches must visit it unconditionally.
 					e.c.Inc("ert_lock_bypass")
+					e.bypassed[phys] = true
 					return stall, true
 				}
 				slot, allocated = e.l1.Allocate(op.Addr)
@@ -262,6 +277,9 @@ func (e *ELSQ) forceUnlockOne() {
 	s := e.lockedSlots[bank][0]
 	e.lockedSlots[bank] = e.lockedSlots[bank][1:]
 	e.l1.Unlock(s)
+	// The unlocked line may now be evicted, taking the bank's line-indexed
+	// filter entry with it; the bank must be searched unconditionally.
+	e.bypassed[bank] = true
 }
 
 // Migrate implements lsq.Scheme: the op enters epoch op.Epoch. Stores
@@ -308,6 +326,15 @@ func (e *ELSQ) EpochCommitted(epoch int, t int64) {
 		return
 	}
 	e.releaseAt[phys] = t
+	// Dropping the locks lets the L1 evict the epoch's lines, and with them
+	// the line-indexed filter entries — but the epoch stays searchable for
+	// loads issuing before cycle t (program-order processing reaches them
+	// after this release is computed). Until the bank is reclaimed its
+	// filter state is therefore incomplete and searches must visit it
+	// unconditionally.
+	if len(e.lockedSlots[phys]) > 0 {
+		e.bypassed[phys] = true
+	}
 	for _, s := range e.lockedSlots[phys] {
 		e.l1.Unlock(s)
 	}
@@ -328,6 +355,7 @@ func (e *ELSQ) EpochSquashed(epoch int) {
 	e.lockedSlots[phys] = e.lockedSlots[phys][:0]
 	e.activeVirtual[phys] = -1
 	e.releaseAt[phys] = 0
+	e.bypassed[phys] = false
 }
 
 // epochMatch returns the youngest candidate store of virtual epoch v seen
@@ -341,13 +369,20 @@ func (e *ELSQ) epochMatch(v int64) *lsq.MemOp {
 }
 
 // LoadIssue implements lsq.Scheme: two-level disambiguation for a load.
+// Forwarding is arbitrated by age across both levels — the youngest older
+// overlapping store wins wherever it lives. Migration is not perfectly
+// age-ordered in this model (a store dispatched while the Memory Processor
+// was idle buffers in the HL-SQ while younger stores migrate past it), so a
+// local hit is only final when it is the youngest match overall; otherwise
+// the search continues into the other level and the extra searches are
+// charged.
 func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadResult {
 	// One pass over the candidate stores: the youngest match still in the
-	// HL-SQ at t, and the youngest match per virtual epoch (bank-indexed
+	// HL-SQ at t, the youngest match per virtual epoch (bank-indexed
 	// scratch; only live epochs are ever queried and exactly one virtual
-	// epoch is live per bank). Candidates are ascending by age, so later
-	// assignments win.
-	var hlMatch *lsq.MemOp
+	// epoch is live per bank), and the youngest match overall. Candidates
+	// are ascending by age, so later assignments win.
+	var hlMatch, youngest *lsq.MemOp
 	e.gen++
 	for _, st := range ix.Candidates(ld, t) {
 		if st.MigrateAt == 0 || st.MigrateAt > t {
@@ -358,86 +393,123 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 			e.matchV[p] = int64(st.Epoch)
 			e.matchOp[p] = st
 		}
+		youngest = st
 	}
 	ld.UnresolvedOlderStore = ix.Unresolved(ld, t)
 
-	// Level 1: local search.
+	// Level 1: local search. The local hit is final only when it is the
+	// youngest overlapping store overall.
 	if ld.Epoch == lsq.HLEpoch {
 		*e.cHLSQ++
-		if hlMatch != nil {
+		if hlMatch != nil && hlMatch == youngest {
 			return lsq.Resolve(ld, hlMatch, t)
 		}
 	} else {
 		*e.cLLSQ++
-		if m := e.epochMatch(int64(ld.Epoch)); m != nil {
+		if m := e.epochMatch(int64(ld.Epoch)); m != nil && m == youngest {
 			// Local same-epoch forwarding: no global search, no network.
 			*e.cFwdLocal++
 			return lsq.Resolve(ld, m, t)
 		}
 	}
 
-	// Level 2: global search, guarded by the Store-ERT.
+	// Level 2: global search, guarded by the Store-ERT. Epochs partition
+	// program order contiguously, so the first match in the youngest-first
+	// walk is the youngest LL match.
 	*e.cERT++
-	idx, present := e.ertIndex(ld.Addr)
-	if !present {
-		return lsq.LoadResult{} // line not resident => no LL store to it
+	var mask uint32
+	if idx, present := e.ertIndex(ld.Addr); present {
+		mask = e.ert.StoreMask(idx)
 	}
-	mask := e.ert.StoreMask(idx)
-	if mask == 0 {
-		return lsq.LoadResult{}
-	}
-
-	// Candidate epochs older than the load, youngest first.
 	candidates := e.candidateEpochs(mask, ld, t)
-	if len(candidates) == 0 {
-		return lsq.LoadResult{}
-	}
 
+	var best *lsq.MemOp
 	var extra int64
-	if ld.Epoch == lsq.HLEpoch {
-		if e.cfg.SQM {
-			// The SQM sits next to the ERT: one extra cycle, no trip.
-			extra = 1
-			*e.cSQMSearch++
-		} else {
-			extra = int64(e.bus.RoundTrip())
-			*e.cRoundtrip++
+	if len(candidates) > 0 {
+		if ld.Epoch == lsq.HLEpoch {
+			if e.cfg.SQM {
+				// The SQM sits next to the ERT: one extra cycle, no trip.
+				extra = 1
+				*e.cSQMSearch++
+			} else {
+				extra = int64(e.bus.RoundTrip())
+				*e.cRoundtrip++
+			}
+		}
+		prev := -1
+		if ld.Epoch != lsq.HLEpoch {
+			prev = e.physical(int64(ld.Epoch))
+		}
+		for _, v := range candidates {
+			*e.cLLSQ++
+			extra++ // sequential epoch search
+			if ld.Epoch != lsq.HLEpoch && prev >= 0 {
+				extra += int64(e.mesh.Traverse(prev, e.physical(v)))
+			}
+			prev = e.physical(v)
+			if m := e.epochMatch(v); m != nil {
+				*e.cFwdGlobal++
+				best = m
+				break
+			}
+			*e.cERTFalsePositive++
 		}
 	}
 
-	prev := -1
-	if ld.Epoch != lsq.HLEpoch {
-		prev = e.physical(int64(ld.Epoch))
+	// Age arbitration across levels.
+	if best != nil && best == youngest {
+		res := lsq.Resolve(ld, best, t+extra)
+		res.ExtraLatency = extra
+		return res
 	}
-	for _, v := range candidates {
-		*e.cLLSQ++
-		extra++ // sequential epoch search
-		if ld.Epoch != lsq.HLEpoch && prev >= 0 {
-			extra += int64(e.mesh.Traverse(prev, e.physical(v)))
+	if hlMatch != nil && hlMatch == youngest {
+		// The youngest match buffers in the HL-SQ. An HL load already
+		// searched it at level 1; an LL load reaches it over the network
+		// (one memory-engine -> CP round trip, like the store-side HL-LQ
+		// check).
+		if ld.Epoch != lsq.HLEpoch {
+			*e.cHLSQ++
+			*e.cRoundtrip++
+			extra += int64(e.bus.RoundTrip())
 		}
-		prev = e.physical(v)
-		if m := e.epochMatch(v); m != nil {
-			*e.cFwdGlobal++
-			res := lsq.Resolve(ld, m, t+extra)
-			res.ExtraLatency = extra
-			return res
-		}
-		*e.cERTFalsePositive++
+		res := lsq.Resolve(ld, hlMatch, t+extra)
+		res.ExtraLatency = extra
+		return res
 	}
 	return lsq.LoadResult{ExtraLatency: extra}
 }
 
 // candidateEpochs converts an ERT bank mask into the virtual epochs older
 // than ld and still uncommitted at t, youngest first (the paper's search
-// order). The returned slice is scratch storage owned by the ELSQ, valid
-// until the next call.
+// order). Banks flagged bypassed carry incomplete filter state and are
+// included regardless of the mask. So are banks the current candidate pass
+// proved displaced: program-order processing computes commit times ahead of
+// younger instructions' issue times, so a bank can be reclaimed (and its
+// filter state cleared) by a processing-order-later epoch while a load
+// whose issue cycle precedes the reuse still needs the previous occupant —
+// at cycle t that epoch physically still owned the bank and its filter
+// bits, so real hardware would search it. The candidates scratch tells us
+// exactly when that holds: it records an in-flight store of the bank's
+// time-t occupant. The returned slice is scratch storage owned by the
+// ELSQ, valid until the next call.
 func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
 	out := e.candEpochs[:0]
-	for m := mask; m != 0; m &= m - 1 {
-		phys := bits.TrailingZeros32(m)
+	for phys := 0; phys < e.cfg.NumEpochs; phys++ {
 		v := e.activeVirtual[phys]
-		if v < 0 || !e.liveAt(phys, t) {
-			continue // stale bank bit (cleared or committed epoch)
+		if e.matchGen[phys] == e.gen && v >= 0 && e.matchV[phys] < v {
+			// Displaced occupant with an in-flight candidate store at t:
+			// banks are reused only after their occupant fully commits, so
+			// the scratch epoch is the bank's owner as of cycle t. A
+			// squashed bank (activeVirtual < 0) stays dead — its state was
+			// discarded, not displaced.
+			v = e.matchV[phys]
+		} else {
+			if mask&(1<<uint(phys)) == 0 && !e.bypassed[phys] {
+				continue
+			}
+			if v < 0 || !e.liveAt(phys, t) {
+				continue // stale bank bit (cleared or committed epoch)
+			}
 		}
 		if ld.Epoch != lsq.HLEpoch && v >= int64(ld.Epoch) {
 			continue // only strictly older epochs hold older stores

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/filter"
+	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -365,4 +367,79 @@ func TestMigrationInsertionCounts(t *testing.T) {
 	if c.Get("sqm_update") != 1 {
 		t.Error("SQM update not counted for migrated store")
 	}
+}
+
+// Cross-level age arbitration: a younger migrated store must beat an older
+// store still buffering in the HL-SQ — the level-1-first search returning
+// the HL hit would forward stale data (the latent bug the differential
+// oracle flags).
+func TestYoungerLLStoreBeatsOlderHLMatch(t *testing.T) {
+	r := newRig(t, nil)
+	ix := lsq.NewStoreIndex()
+	hl := mkStore(1, 0x100, 5, 6) // dispatched while the MP was idle, never migrates
+	ix.Add(hl)
+	llSt := mkStore(5, 0x100, 7, 8)
+	ix.Add(llSt)
+	r.migrateStore(llSt, 0, 10)
+	res := r.e.LoadIssue(mkLoad(9, 0x100), ix, 50)
+	if !res.Forwarded || res.Source != llSt {
+		t.Fatalf("youngest (migrated) store lost the arbitration: %+v", res)
+	}
+	if res.ExtraLatency == 0 {
+		t.Error("global search that beat the local hit was not charged")
+	}
+	// The reverse ordering keeps the plain local hit: HL younger than LL.
+	ix2 := lsq.NewStoreIndex()
+	old := mkStore(1, 0x200, 5, 6)
+	ix2.Add(old)
+	r2 := newRig(t, nil)
+	r2.migrateStore(old, 0, 10)
+	young := mkStore(5, 0x200, 7, 8)
+	ix2.Add(young)
+	res2 := r2.e.LoadIssue(mkLoad(9, 0x200), ix2, 50)
+	if !res2.Forwarded || res2.Source != young {
+		t.Fatalf("younger HL store lost to the older migrated one: %+v", res2)
+	}
+	if res2.ExtraLatency != 0 {
+		t.Error("local HL hit paid a global search")
+	}
+}
+
+// An LL load whose youngest older overlapping store still buffers in the
+// HL-SQ must reach it over the network — before this fix such a load read
+// the cache and missed the forwarding entirely.
+func TestLLLoadReachesYoungestHLStore(t *testing.T) {
+	r := newRig(t, nil)
+	ix := lsq.NewStoreIndex()
+	hl := mkStore(1, 0x100, 5, 6)
+	ix.Add(hl)
+	ld := mkLoad(9, 0x100)
+	ld.Epoch = 2 // the load migrated; the store did not
+	ld.MigrateAt = 10
+	res := r.e.LoadIssue(ld, ix, 50)
+	if !res.Forwarded || res.Source != hl {
+		t.Fatalf("LL load missed the HL-SQ store: %+v", res)
+	}
+	if res.ExtraLatency == 0 {
+		t.Error("remote HL-SQ search was free")
+	}
+	c := r.e.Counters()
+	if c.Get("roundtrip") == 0 {
+		t.Error("ME->CP round trip not counted")
+	}
+}
+
+// A wrong-path op must never be inserted into the ERT: the filter boundary
+// assert fires under filter.Debug.
+func TestERTInsertRejectsWrongPathOps(t *testing.T) {
+	filter.Debug = true
+	defer func() {
+		filter.Debug = false
+		if recover() == nil {
+			t.Error("ERT insertion accepted a wrong-path store with filter.Debug on")
+		}
+	}()
+	r := newRig(t, nil)
+	wp := mkStore(isa.WrongPathSeqBit|3, 0x100, 5, 6)
+	r.migrateStore(wp, 0, 10)
 }

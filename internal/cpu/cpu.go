@@ -61,6 +61,25 @@ type Result struct {
 	AvgEpochs float64
 }
 
+// CommitObserver receives the committed-path memory-operation stream in
+// program order, after each op's timing and forwarding provenance are final.
+// It is the hook the differential oracle (internal/oracle) certifies load
+// values through. The op pointer is valid only for the duration of the call
+// — the pipeline model recycles the records — so implementations must copy
+// whatever they keep. Wrong-path ops never reach the observer. When no
+// observer is attached the hook costs one nil check per committed memory
+// op and allocates nothing.
+type CommitObserver interface {
+	// LoadCommitted is called when a load commits. op carries the final
+	// forwarding provenance (FwdSeq/FwdMask), the final data-cache read
+	// cycle (ReadAt, covering partial-overlap waits, violation repairs and
+	// SVW commit-time re-execution) and the commit cycle.
+	LoadCommitted(op *lsq.MemOp)
+	// StoreCommitted is called when a store commits; op.Commit is the cycle
+	// its value becomes architecturally visible.
+	StoreCommitted(op *lsq.MemOp)
+}
+
 // Sim is one simulation instance: a configuration bound to a workload.
 type Sim struct {
 	cfg    config.Config
@@ -91,6 +110,7 @@ type Sim struct {
 	sqRing     *sched.Ring // conventional SQ (OoO)
 
 	storeIx *lsq.StoreIndex
+	obs     CommitObserver
 
 	nextFetchMin int64
 	lastCommit   int64
@@ -186,6 +206,13 @@ func New(cfg config.Config, gen workload.Source) (*Sim, error) {
 		return nil, fmt.Errorf("cpu: unsupported scheme %v on %v", cfg.LSQ, cfg.Model)
 	}
 
+	// Unresolved-store tracking soundness: any store evicted from the
+	// StoreIndex's recent ring is at least ring-length/FetchWidth dispatch
+	// cycles older than a querying load's issue; a matching late-address
+	// slack keeps every possibly-unresolved store visible to Unresolved
+	// (the no-unresolved-store filter input).
+	s.storeIx.TuneLateSlack(cfg.FetchWidth)
+
 	s.fetchCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
 	s.cpIssueCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
 	s.portsCal = sched.NewCalendar(cfg.CachePorts, calHorizon)
@@ -215,6 +242,10 @@ func New(cfg config.Config, gen workload.Source) (*Sim, error) {
 	}
 	return s, nil
 }
+
+// SetCommitObserver attaches obs to the committed memory-operation stream.
+// It must be called before Run; pass nil to detach.
+func (s *Sim) SetCommitObserver(obs CommitObserver) { s.obs = obs }
 
 // RestoreWarmState primes the simulator from a checkpoint instead of a
 // functional warm-up: hs must be the hierarchy image captured after exactly
@@ -464,11 +495,16 @@ func (s *Sim) step(in *isa.Inst) {
 	if s.svwEng != nil && isLoad {
 		if s.svwEng.LoadCommitting(op) {
 			// Re-execute during commit: an extra data-cache access that
-			// also delays every younger store's commit.
+			// also delays every younger store's commit. The re-execution
+			// re-reads every byte from the cache, which by now reflects
+			// every older store (in-order commit), so the provenance
+			// becomes a plain cache read at the re-execution cycle.
 			port := s.portsCal.Reserve(ct)
 			lat := int64(s.hier.Latency(s.hier.Probe(op.Addr)))
 			ct = port + lat
 			*s.cCache++
+			op.FwdMask = 0
+			op.ReadAt = port
 		}
 	}
 	s.lastCommit = ct
@@ -485,6 +521,13 @@ func (s *Sim) step(in *isa.Inst) {
 			s.svwEng.StoreCommitted(op.Addr, op.Seq, ct)
 		}
 		s.storeIx.Add(op)
+	}
+	if s.obs != nil && isMem {
+		if isStore {
+			s.obs.StoreCommitted(op)
+		} else {
+			s.obs.LoadCommitted(op)
+		}
 	}
 	if epochV >= 0 {
 		s.epochs.Committed(epochV, in.Seq, ct)
@@ -571,14 +614,20 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 	*s.cLoadLevel[level]++
 	switch {
 	case res.Forwarded:
-		op.ForwardedFrom = res.Source.Seq + 1
+		op.FwdSeq = res.Source.Seq
+		op.FwdMask = isa.OverlapMask(res.Source.Addr, res.Source.Size, op.Addr, op.Size)
+		op.ReadAt = issue
 		done = max64(issue, res.DataAvailable) + 1
 	case res.Partial:
 		// Partially matching store: wait for it to commit, then read the
-		// cache (squash-and-refetch-free variant of the Power4 rule).
+		// cache (squash-and-refetch-free variant of the Power4 rule). The
+		// re-read observes every older store: stores commit in order, so
+		// all of them are in the cache by the youngest one's commit.
 		*s.cPartialForward++
-		done = max64(issue, res.PartialStore.Commit) + int64(s.cfg.L1.LatencyCycles) + 1
+		op.ReadAt = max64(issue, res.PartialStore.Commit)
+		done = op.ReadAt + int64(s.cfg.L1.LatencyCycles) + 1
 	default:
+		op.ReadAt = issue
 		done = issue + res.ExtraLatency + int64(lat)
 	}
 
@@ -599,18 +648,45 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 		s.scheme.Migrate(op, mt)
 	}
 
-	// True ordering violations: an older overlapping store whose address
+	// True ordering violations: older overlapping stores whose addresses
 	// resolved only after this load issued. Eager schemes squash at the
-	// store's resolution; SVW repairs at commit via re-execution (the
-	// re-execution itself is modelled in step()).
-	for _, st := range s.storeIx.CandidatesOracle(op, issue) {
+	// oldest such store's resolution and the re-executed load waits until
+	// every older store address is known; SVW repairs at commit via
+	// re-execution (modelled in step()). Every violating store is folded in
+	// — stopping at the first would let a younger, later-resolving store
+	// leave the load with stale data.
+	cands := s.storeIx.CandidatesOracle(op, issue)
+	var repairAt int64
+	for _, st := range cands {
 		if st.AddrReady > issue {
-			*s.cViolation++
-			done = max64(done, max64(st.AddrReady, st.DataReady)+1)
-			if s.svwEng == nil {
-				s.nextFetchMin = max64(s.nextFetchMin, st.AddrReady+int64(s.cfg.MispredictPenalty))
+			if repairAt == 0 {
+				*s.cViolation++
+				if s.svwEng == nil {
+					// The squash triggers when the oldest violating store
+					// (first in ascending age) resolves its address.
+					s.nextFetchMin = max64(s.nextFetchMin, st.AddrReady+int64(s.cfg.MispredictPenalty))
+				}
 			}
-			break
+			repairAt = max64(repairAt, max64(st.AddrReady, st.DataReady)+1)
+		}
+	}
+	if repairAt > 0 {
+		done = max64(done, repairAt)
+		if s.svwEng == nil {
+			// The re-executed load observes the youngest older overlapping
+			// store: forward when it covers the load, otherwise wait for its
+			// commit and re-read the cache (which then reflects every older
+			// store). SVW loads keep their stale provenance here — the
+			// commit-time re-execution is what repairs them.
+			y := cands[len(cands)-1]
+			if y.Covers(op) {
+				op.FwdSeq, op.FwdMask = y.Seq, isa.FullMask(op.Size)
+				done = max64(done, max64(repairAt, y.DataReady)+1)
+			} else {
+				op.FwdMask = 0
+				op.ReadAt = max64(repairAt, y.Commit)
+				done = max64(done, op.ReadAt+int64(s.cfg.L1.LatencyCycles)+1)
+			}
 		}
 	}
 	return done, issue

@@ -8,6 +8,8 @@ package filter
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/isa"
 )
 
 // HashIndex maps an effective address to an n-bit ERT/SSBF index using the
@@ -41,6 +43,17 @@ var Debug = false
 func AssertIndexable(addr uint64, size uint8, site string) {
 	if Debug && !Indexable(addr, size) {
 		panic(fmt.Sprintf("filter: %s: access addr %#x size %d violates the aligned-pow2-<=8B invariant HashIndex soundness relies on", site, addr, size))
+	}
+}
+
+// AssertCommittedPath panics if Debug is set and seq belongs to the
+// wrong-path sequence space (isa.WrongPathSeqBit). Squashed wrong-path ops
+// may search the queues and pollute the caches, but they must never update
+// committed-state structures: the SSBF, the ERT, or the oracle's
+// architectural memory image.
+func AssertCommittedPath(seq uint64, site string) {
+	if Debug && isa.IsWrongPathSeq(seq) {
+		panic(fmt.Sprintf("filter: %s: wrong-path op (seq %#x) reached a committed-state structure", site, seq))
 	}
 }
 
@@ -161,13 +174,25 @@ func (b *Bloom) Reset() {
 	}
 }
 
+// ssbfEntry is one SSBF slot: the youngest committed store that hashed here,
+// as a (sequence number, commit cycle) pair written atomically by
+// CommitStore. Keeping the commit cycle inside the entry — rather than in a
+// parallel table keyed by a second hash computation — guarantees the
+// issued-before-commit filter and the matched sequence number always
+// describe the same store.
+type ssbfEntry struct {
+	seq    uint64 // store sequence number + 1 (0 = never written)
+	commit int64  // that store's commit cycle
+}
+
 // SSBF is the Store Sequence Bloom Filter of SVW (Roth, ISCA 2005): a
-// direct-mapped table of the youngest committed store sequence number per
-// address hash. A load whose vulnerability window overlaps the stored
-// sequence number must re-execute.
+// direct-mapped table of the youngest committed store per address hash, each
+// entry pairing the store's sequence number with its commit cycle. A load
+// whose vulnerability window overlaps the stored sequence number must
+// re-execute.
 type SSBF struct {
-	bitsN int
-	seq   []uint64
+	bitsN   int
+	entries []ssbfEntry
 	// Writes and Reads count accesses for the Table 2 "SSBF" column.
 	Writes, Reads uint64
 }
@@ -177,27 +202,28 @@ func NewSSBF(nbits int) *SSBF {
 	if nbits < 1 || nbits > 24 {
 		panic("filter: ssbf bits out of range")
 	}
-	return &SSBF{bitsN: nbits, seq: make([]uint64, 1<<uint(nbits))}
+	return &SSBF{bitsN: nbits, entries: make([]ssbfEntry, 1<<uint(nbits))}
 }
 
-// CommitStore records that the store with sequence number seq to addr has
-// committed. Sequence numbers are offset by one internally so the zero value
-// means "never written".
-func (s *SSBF) CommitStore(addr uint64, seq uint64) {
+// CommitStore records that the store with sequence number seq to addr
+// committed at cycle commit. Sequence numbers are offset by one internally
+// so the zero value means "never written".
+func (s *SSBF) CommitStore(addr uint64, seq uint64, commit int64) {
+	AssertCommittedPath(seq, "ssbf commit-store")
 	s.Writes++
-	s.seq[HashIndex(addr, s.bitsN)] = seq + 1
+	s.entries[HashIndex(addr, s.bitsN)] = ssbfEntry{seq: seq + 1, commit: commit}
 }
 
-// LastStore returns the sequence number of the youngest committed store that
-// hashes with addr, and whether any exists.
-func (s *SSBF) LastStore(addr uint64) (uint64, bool) {
+// LastStore returns the sequence number and commit cycle of the youngest
+// committed store that hashes with addr, and whether any exists.
+func (s *SSBF) LastStore(addr uint64) (seq uint64, commit int64, ok bool) {
 	s.Reads++
-	v := s.seq[HashIndex(addr, s.bitsN)]
-	if v == 0 {
-		return 0, false
+	e := s.entries[HashIndex(addr, s.bitsN)]
+	if e.seq == 0 {
+		return 0, 0, false
 	}
-	return v - 1, true
+	return e.seq - 1, e.commit, true
 }
 
 // Entries returns the table size.
-func (s *SSBF) Entries() int { return len(s.seq) }
+func (s *SSBF) Entries() int { return len(s.entries) }

@@ -168,18 +168,18 @@ func TestBloomNoFalseNegatives(t *testing.T) {
 
 func TestSSBF(t *testing.T) {
 	s := NewSSBF(10)
-	if _, ok := s.LastStore(0x40); ok {
+	if _, _, ok := s.LastStore(0x40); ok {
 		t.Error("empty SSBF returned a store")
 	}
-	s.CommitStore(0x40, 0) // seq 0 must be distinguishable from empty
-	seq, ok := s.LastStore(0x40)
-	if !ok || seq != 0 {
-		t.Errorf("LastStore = %d/%v, want 0/true", seq, ok)
+	s.CommitStore(0x40, 0, 7) // seq 0 must be distinguishable from empty
+	seq, commit, ok := s.LastStore(0x40)
+	if !ok || seq != 0 || commit != 7 {
+		t.Errorf("LastStore = %d@%d/%v, want 0@7/true", seq, commit, ok)
 	}
-	s.CommitStore(0x40, 99)
-	seq, _ = s.LastStore(0x40)
-	if seq != 99 {
-		t.Errorf("LastStore = %d, want 99", seq)
+	s.CommitStore(0x40, 99, 123)
+	seq, commit, _ = s.LastStore(0x40)
+	if seq != 99 || commit != 123 {
+		t.Errorf("LastStore = %d@%d, want 99@123", seq, commit)
 	}
 	if s.Writes != 2 || s.Reads != 3 {
 		t.Errorf("counters = %d/%d", s.Writes, s.Reads)
@@ -198,9 +198,9 @@ func TestSSBFAliasing(t *testing.T) {
 	if HashIndex(a, 8) != HashIndex(b, 8) {
 		t.Fatal("test addresses do not alias")
 	}
-	s.CommitStore(a, 7)
-	seq, ok := s.LastStore(b)
-	if !ok || seq != 7 {
+	s.CommitStore(a, 7, 11)
+	seq, commit, ok := s.LastStore(b)
+	if !ok || seq != 7 || commit != 11 {
 		t.Error("aliased read did not observe the store")
 	}
 }
@@ -292,4 +292,71 @@ func TestAssertIndexable(t *testing.T) {
 		}
 	}()
 	AssertIndexable(0x1004, 8, "test")
+}
+
+// TestAssertCommittedPath checks the wrong-path boundary gate: off by
+// default, panics when a wrong-path sequence number reaches a
+// committed-state structure with Debug on.
+func TestAssertCommittedPath(t *testing.T) {
+	AssertCommittedPath(isa.WrongPathSeqBit|5, "test") // Debug off: must not panic
+	Debug = true
+	defer func() {
+		Debug = false
+		if recover() == nil {
+			t.Error("AssertCommittedPath let a wrong-path op through with Debug on")
+		}
+	}()
+	AssertCommittedPath(isa.WrongPathSeqBit|5, "test")
+}
+
+// TestSSBFRejectsWrongPathStores pins the commit boundary: a squashed
+// wrong-path store must never update the SSBF.
+func TestSSBFRejectsWrongPathStores(t *testing.T) {
+	Debug = true
+	defer func() {
+		Debug = false
+		if recover() == nil {
+			t.Error("SSBF.CommitStore accepted a wrong-path store with Debug on")
+		}
+	}()
+	NewSSBF(8).CommitStore(0x100, isa.WrongPathSeqBit|5, 10)
+}
+
+// A squashed epoch's two EpochBitTable columns must be fully cleared: no
+// stale bit in any entry and no touchedLd/touchedSt residue — a leftover
+// touched entry would make a later ClearEpoch of the recycled bank clear a
+// younger epoch's bit, and a leftover bit would fake a store match.
+func TestClearEpochNoResidue(t *testing.T) {
+	tb := NewEpochBitTable(64, 8)
+	for idx := 0; idx < 64; idx += 3 {
+		tb.SetLoad(idx, 2)
+		tb.SetStore(idx, 2)
+		tb.SetLoad(idx, 5)
+		tb.SetStore(idx, 5)
+		// Duplicate sets must not duplicate touched entries either.
+		tb.SetStore(idx, 2)
+	}
+	tb.ClearEpoch(2)
+	for idx := 0; idx < 64; idx++ {
+		if tb.LoadMask(idx)&(1<<2) != 0 || tb.StoreMask(idx)&(1<<2) != 0 {
+			t.Fatalf("entry %d keeps epoch-2 bits after ClearEpoch", idx)
+		}
+	}
+	if len(tb.touchedLd[2]) != 0 || len(tb.touchedSt[2]) != 0 {
+		t.Fatalf("touched residue after ClearEpoch: %d loads / %d stores",
+			len(tb.touchedLd[2]), len(tb.touchedSt[2]))
+	}
+	// The other epoch's columns survive untouched.
+	for idx := 0; idx < 64; idx += 3 {
+		if tb.LoadMask(idx)&(1<<5) == 0 || tb.StoreMask(idx)&(1<<5) == 0 {
+			t.Fatalf("ClearEpoch(2) disturbed epoch 5 at entry %d", idx)
+		}
+	}
+	// Re-population after the clear starts from a clean touched list: a
+	// second clear must still remove everything.
+	tb.SetStore(7, 2)
+	tb.ClearEpoch(2)
+	if tb.StoreMask(7)&(1<<2) != 0 || len(tb.touchedSt[2]) != 0 {
+		t.Fatal("stale state after set-clear-set-clear cycle")
+	}
 }

@@ -7,6 +7,8 @@
 package fmc
 
 import (
+	"fmt"
+
 	"repro/internal/config"
 	"repro/internal/sched"
 )
@@ -62,15 +64,20 @@ type Epochs struct {
 	ActiveCycleSum int64
 	// Opened counts epochs ever opened.
 	Opened uint64
+	// lastReleased is the most recently released virtual epoch (-1 before
+	// the first release). Epochs are age-partitioned, so releases must be
+	// strictly monotonic in the virtual id; release asserts this.
+	lastReleased int64
 }
 
 // NewEpochs builds the epoch manager for the configuration.
 func NewEpochs(cfg *config.Config) *Epochs {
 	e := &Epochs{
-		cfg:      cfg,
-		curr:     -1,
-		bankFree: make([]int64, cfg.NumEpochs),
-		cal:      make([]*sched.Calendar, cfg.NumEpochs),
+		cfg:          cfg,
+		curr:         -1,
+		bankFree:     make([]int64, cfg.NumEpochs),
+		cal:          make([]*sched.Calendar, cfg.NumEpochs),
+		lastReleased: -1,
 	}
 	for i := range e.cal {
 		e.cal[i] = sched.NewCalendar(cfg.MEIssueWidth, 1<<14)
@@ -130,6 +137,10 @@ func (e *Epochs) Assign(exec, load, store bool, seq uint64, t int64) (v int64, e
 // lifetime. Its last commit time is final because all its members have been
 // processed.
 func (e *Epochs) release(v int64) Release {
+	if v <= e.lastReleased {
+		panic(fmt.Sprintf("fmc: epoch release order violated: releasing epoch %d after %d (releases must be strictly monotonic)", v, e.lastReleased))
+	}
+	e.lastReleased = v
 	inf := e.currInfo
 	p := e.Physical(v)
 	e.bankFree[p] = inf.lastCommit

@@ -122,6 +122,41 @@ func Overlaps(addrA uint64, sizeA uint8, addrB uint64, sizeB uint8) bool {
 	return addrA < endB && addrB < endA
 }
 
+// OverlapMask returns the bitmask of the load's bytes that the store's
+// footprint covers: bit i set means byte ldAddr+i is supplied by the store.
+// A zero mask means the footprints are disjoint. Load sizes are at most 8
+// bytes, so a uint8 covers every legal footprint.
+func OverlapMask(stAddr uint64, stSize uint8, ldAddr uint64, ldSize uint8) uint8 {
+	lo, hi := stAddr, stAddr+uint64(stSize) // overlap window in absolute bytes
+	if ldAddr > lo {
+		lo = ldAddr
+	}
+	if end := ldAddr + uint64(ldSize); end < hi {
+		hi = end
+	}
+	if hi <= lo {
+		return 0
+	}
+	n := uint(hi - lo)
+	return uint8((1<<n - 1) << uint(lo-ldAddr))
+}
+
+// FullMask returns the byte mask of a complete size-byte footprint.
+func FullMask(size uint8) uint8 {
+	return uint8(1<<uint(size) - 1)
+}
+
+// WrongPathSeqBit is OR-ed into the sequence numbers of synthesised
+// wrong-path instructions, keeping them disjoint from the committed-path
+// sequence space. Filter and oracle boundaries assert on it: a wrong-path op
+// must never reach committed-state structures (SSBF, ERT, the architectural
+// memory image).
+const WrongPathSeqBit uint64 = 1 << 63
+
+// IsWrongPathSeq reports whether seq belongs to the wrong-path sequence
+// space.
+func IsWrongPathSeq(seq uint64) bool { return seq&WrongPathSeqBit != 0 }
+
 // Latency returns the functional-unit latency in cycles for non-memory
 // classes. Loads and stores resolve through the cache model instead.
 func Latency(c OpClass) int {

@@ -53,10 +53,22 @@ type MemOp struct {
 	// UnresolvedOlderStore records whether, at load issue, some older store
 	// still had an unknown address (the no-unresolved-store filter input).
 	UnresolvedOlderStore bool
-	// ForwardedFrom is 1 + the sequence number of the store this load
-	// forwarded from (0 = read the cache). SVW starts the load's
-	// vulnerability window after this store.
-	ForwardedFrom uint64
+
+	// Forwarding provenance, filled by the pipeline model once the load's
+	// value source is final (after any violation repair). FwdMask is the
+	// bitmask of the load's bytes supplied by in-flight store-to-load
+	// forwarding (bit i = byte Addr+i; 0 = no forwarding) and FwdSeq is the
+	// sequence number of the supplying store (valid only when FwdMask != 0).
+	// SVW starts the load's vulnerability window after FwdSeq; the oracle
+	// certifies FwdSeq byte-wise against the sequential memory image.
+	FwdSeq  uint64
+	FwdMask uint8
+	// ReadAt is the cycle of the load's final data-cache read for the bytes
+	// not covered by FwdMask: issue for an ordinary load, the re-read point
+	// after a partial-overlap wait or a violation repair, the commit-time
+	// re-execution cycle under SVW. Bytes read from the cache at ReadAt
+	// observe exactly the stores that committed by ReadAt.
+	ReadAt int64
 
 	// blockNext chains stores of the same 8-byte block inside the
 	// StoreIndex, youngest first. Intrusive linking keeps the per-store

@@ -32,9 +32,20 @@ type StoreIndex struct {
 	lateAddr []*MemOp
 	// recent is a short ring of the youngest stores, whose addresses may
 	// not have resolved yet relative to a load issued immediately after.
-	recent [16]*MemOp
+	// Soundness of Unresolved requires the ring and lateSlack to compose: a
+	// store evicted from the ring has at least len(recent) younger stores,
+	// so any load that could still query it dispatched at least
+	// len(recent)/FetchWidth cycles later and issued at least one cycle
+	// after that — by which point every store with AddrReady within
+	// Dispatch+lateSlack has resolved, provided lateSlack <=
+	// len(recent)/FetchWidth (TuneLateSlack derives it so).
+	recent [64]*MemOp
 	rpos   int
 	adds   uint64
+	// lateSlack is the dispatch-to-AddrReady margin below which a store is
+	// tracked only by the recent ring (see recent). Stores resolving later
+	// than Dispatch+lateSlack go to lateAddr.
+	lateSlack int64
 	// maxDispatch is the largest dispatch cycle ever Added. Dropped entries
 	// always dispatched (and committed) far behind it, so it equals the
 	// maximum over the live entries, without a scan.
@@ -63,7 +74,30 @@ const storeIndexBucketBits = 14
 
 // NewStoreIndex returns an empty index.
 func NewStoreIndex() *StoreIndex {
-	return &StoreIndex{buckets: make([]*MemOp, 1<<storeIndexBucketBits)}
+	return &StoreIndex{
+		buckets:   make([]*MemOp, 1<<storeIndexBucketBits),
+		lateSlack: 8,
+	}
+}
+
+// TuneLateSlack sizes the dispatch-to-AddrReady margin below which a store
+// is tracked only by the recent ring, for a pipeline fetching fetchWidth
+// instructions per cycle. Soundness of Unresolved requires slack <=
+// len(recent)/fetchWidth (see the recent field), which this derives from
+// the ring's actual length; the result is clamped to [1, 8] — 8 is the
+// precision sweet spot, lower values only grow lateAddr.
+func (ix *StoreIndex) TuneLateSlack(fetchWidth int) {
+	if fetchWidth < 1 {
+		fetchWidth = 1
+	}
+	slack := int64(len(ix.recent) / fetchWidth)
+	if slack < 1 {
+		slack = 1
+	}
+	if slack > 8 {
+		slack = 8
+	}
+	ix.lateSlack = slack
 }
 
 func blockOf(addr uint64) uint64 { return addr >> 3 }
@@ -99,7 +133,7 @@ func (ix *StoreIndex) Add(st *MemOp) {
 	if st.Dispatch > ix.maxDispatch {
 		ix.maxDispatch = st.Dispatch
 	}
-	if st.AddrReady > st.Dispatch+8 {
+	if st.AddrReady > st.Dispatch+ix.lateSlack {
 		ix.lateAddr = append(ix.lateAddr, st)
 		if st.AddrReady > ix.lateMax {
 			ix.lateMax = st.AddrReady

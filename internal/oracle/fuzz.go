@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// FuzzPoint is one randomized simulation point: a configuration drawn from
+// the sweepable-field registry, a benchmark, and a workload seed. The
+// fuzz drivers (cmd/elsqfuzz and the native FuzzSim target) shake the
+// scheme state space with these and certify every point with a Checker.
+type FuzzPoint struct {
+	// Config is the derived configuration (always Validate-clean).
+	Config config.Config
+	// Bench and Seed select the workload instantiation.
+	Bench string
+	Seed  uint64
+}
+
+// Label identifies the point in logs.
+func (p FuzzPoint) Label() string {
+	return fmt.Sprintf("%s/%s seed %d insts %d warmup %d",
+		p.Config.Name(), p.Bench, p.Seed, p.Config.MaxInsts, p.Config.WarmupInsts)
+}
+
+// fuzzAxes lists the geometry axes the fuzzer perturbs, addressed through
+// the config.Fields registry by their public axis names, each with a
+// curated Validate-clean value set. Constraints encoded in the choices:
+// cache set counts stay powers of two, fetch.width stays <= 8 (the
+// unresolved-store ring's soundness bound), and budgets stay small enough
+// that a point simulates in milliseconds.
+var fuzzAxes = []struct {
+	name   string
+	values []string
+}{
+	{"fetch.width", []string{"1", "2", "4", "8"}},
+	{"commit.width", []string{"1", "2", "4", "8"}},
+	{"rob.size", []string{"16", "32", "64", "128"}},
+	{"iq.int", []string{"8", "20", "40"}},
+	{"iq.fp", []string{"8", "20", "40"}},
+	{"cache.ports", []string{"1", "2", "4"}},
+	{"epochs", []string{"1", "2", "3", "4", "8", "16"}},
+	{"epoch.insts", []string{"16", "48", "128", "256"}},
+	{"epoch.loads", []string{"4", "16", "64"}},
+	{"epoch.stores", []string{"2", "8", "32"}},
+	{"me.issue", []string{"1", "2", "4"}},
+	{"hl.lq", []string{"4", "8", "32", "64"}},
+	{"hl.sq", []string{"2", "6", "24", "48"}},
+	{"l1.size", []string{"8K", "16K", "32K"}},
+	{"l1.ways", []string{"1", "2", "4"}},
+	{"l1.latency", []string{"1", "2"}},
+	{"l2.size", []string{"256K", "2M"}},
+	{"l2.ways", []string{"4", "8"}},
+	{"l2.latency", []string{"6", "10"}},
+	{"mem.latency", []string{"100", "400"}},
+	{"bus.oneway", []string{"0", "2", "4", "16"}},
+	{"mesh.hop", []string{"1", "4"}},
+	{"ert", []string{"line", "hash"}},
+	{"ert.bits", []string{"4", "8", "10", "14"}},
+	{"sqm", []string{"true", "false"}},
+	{"disamb", []string{"full", "rsac", "rlac", "rsaclac"}},
+	{"ssbf.bits", []string{"4", "8", "10", "14"}},
+	{"svw", []string{"blind", "checkstores"}},
+	{"migrate.threshold", []string{"8", "48", "192"}},
+	{"mispredict.penalty", []string{"2", "8", "20"}},
+}
+
+// schemePoints are the (model, lsq) combinations the pipeline model
+// supports.
+var schemePoints = [][2]string{
+	{"fmc", "elsq"},
+	{"fmc", "elsq"}, // weighted: the paper's scheme gets double draws
+	{"fmc", "svw"},
+	{"fmc", "central"},
+	{"ooo", "conventional"},
+	{"ooo", "svw"},
+}
+
+// RandomPoint derives a deterministic, Validate-clean fuzz point from a
+// 64-bit seed: every axis choice, the scheme, the benchmark, the workload
+// seed and the instruction budget are functions of seed alone, so a
+// reported failure reproduces from its seed.
+func RandomPoint(seed uint64) FuzzPoint {
+	r := xrand.New(seed ^ 0xE15f0221)
+	cfg := config.Default()
+	scheme := schemePoints[r.Intn(len(schemePoints))]
+	mustSet(&cfg, "model", scheme[0])
+	mustSet(&cfg, "lsq", scheme[1])
+	for _, ax := range fuzzAxes {
+		// Perturb roughly half the axes per point: full-random points are
+		// all extreme; mixing in Table 1 defaults explores interactions.
+		if r.Bool(0.5) {
+			mustSet(&cfg, ax.name, ax.values[r.Intn(len(ax.values))])
+		}
+	}
+
+	// Small budgets keep a point in the low-millisecond range while still
+	// spanning warm-up, sampled measurement and epoch churn.
+	cfg.MaxInsts = 500 + r.Uint64n(7500)
+	cfg.WarmupInsts = []uint64{0, 2_000, 20_000}[r.Intn(3)]
+	if r.Bool(0.25) {
+		cfg.SampleIntervals = 2 + r.Intn(3)
+		cfg.SampleBleedInsts = 200 + r.Uint64n(1800)
+	}
+
+	profs := append(workload.SuiteOf(workload.SuiteInt), workload.SuiteOf(workload.SuiteFP)...)
+	bench := profs[r.Intn(len(profs))].Name
+	wseed := 1 + r.Uint64n(1<<32)
+	if err := cfg.Validate(); err != nil {
+		// Unreachable by construction of the value sets; fail loudly if a
+		// new axis breaks the invariant.
+		panic(fmt.Sprintf("oracle: fuzz point from seed %d invalid: %v", seed, err))
+	}
+	return FuzzPoint{Config: cfg, Bench: bench, Seed: wseed}
+}
+
+// mustSet stamps a registry axis and panics on error (the value sets are
+// static; an error is a programming mistake, not an input condition).
+func mustSet(cfg *config.Config, name, value string) {
+	if err := config.SetField(cfg, name, value); err != nil {
+		panic(err)
+	}
+}
+
+// CheckPoint runs one fuzz point under the oracle and returns the checker
+// (never nil on a nil error).
+func CheckPoint(p FuzzPoint) (*Checker, error) {
+	_, ck, err := Run(p.Config, p.Bench, p.Seed)
+	return ck, err
+}

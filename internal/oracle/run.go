@@ -1,0 +1,31 @@
+package oracle
+
+import (
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Run simulates one benchmark under cfg with a fresh Checker attached to
+// the committed memory-operation stream and returns both. The workload
+// source honours cfg.TracePath (trace replay) exactly like the bench and
+// sweep drivers; a nil error from Checker.Err certifies every committed
+// load of the run against the sequential reference.
+func Run(cfg config.Config, bench string, seed uint64) (*cpu.Result, *Checker, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := trace.SourceFor(&cfg, prof, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := cpu.New(cfg, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	ck := New(0)
+	sim.SetCommitObserver(ck)
+	return sim.Run(), ck, nil
+}

@@ -15,6 +15,7 @@ package svw
 import (
 	"repro/internal/config"
 	"repro/internal/filter"
+	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/stats"
 )
@@ -23,11 +24,7 @@ import (
 type Engine struct {
 	ssbf    *filter.SSBF
 	variant config.SVWVariant
-	// commitAt[i] is the commit cycle of the youngest store hashed into
-	// SSBF entry i (parallel to the SSBF's sequence numbers).
-	commitAt []int64
-	bits     int
-	c        *stats.Counters
+	c       *stats.Counters
 
 	cReexec, cReexecFiltered *uint64
 }
@@ -35,11 +32,9 @@ type Engine struct {
 // New builds an SVW engine with a 2^bits-entry SSBF.
 func New(bits int, variant config.SVWVariant) *Engine {
 	e := &Engine{
-		ssbf:     filter.NewSSBF(bits),
-		variant:  variant,
-		commitAt: make([]int64, 1<<uint(bits)),
-		bits:     bits,
-		c:        stats.NewCounters(),
+		ssbf:    filter.NewSSBF(bits),
+		variant: variant,
+		c:       stats.NewCounters(),
 	}
 	e.cReexec = e.c.Handle("reexec")
 	e.cReexecFiltered = e.c.Handle("reexec_filtered")
@@ -56,31 +51,43 @@ func (e *Engine) Counters() *stats.Counters { return e.c }
 func (e *Engine) SSBFAccesses() uint64 { return e.ssbf.Reads + e.ssbf.Writes }
 
 // StoreCommitted records a store's commit: its program-order sequence
-// number and commit cycle are written into the SSBF under its address.
+// number and commit cycle are written into its SSBF entry atomically, so
+// the vulnerability test always compares a single store's sequence number
+// against that same store's commit cycle.
 func (e *Engine) StoreCommitted(addr uint64, seq uint64, commitCycle int64) {
-	e.ssbf.CommitStore(addr, seq)
-	e.commitAt[filter.HashIndex(addr, e.bits)] = commitCycle
+	e.ssbf.CommitStore(addr, seq, commitCycle)
 }
 
 // LoadCommitting decides whether the committing load must re-execute. The
 // SSBF holds the youngest committed store that may alias the load's
 // address; the load is vulnerable if that store committed after the load
-// issued AND is younger than the load's forwarding source (a load that
-// forwarded from the youngest matching store already has that store's
-// value). The CheckStores variant additionally skips loads that issued with
-// no older address-unresolved store in flight — such loads saw every
-// relevant address and cannot have been wrong.
+// last read the data cache AND is strictly younger than the load's
+// forwarding source. A load that forwarded from the youngest aliasing
+// committed store (seq == FwdSeq) already holds that store's value — its
+// window starts strictly after FwdSeq — and a load that re-read the cache
+// at ReadAt (partial-overlap wait) observed every store committed by then.
+// The CheckStores variant additionally skips loads that issued with no
+// older address-unresolved store in flight — such loads saw every relevant
+// address and cannot have been wrong.
 func (e *Engine) LoadCommitting(ld *lsq.MemOp) bool {
 	filter.AssertIndexable(ld.Addr, ld.Size, "svw load commit")
-	seq, ok := e.ssbf.LastStore(ld.Addr)
+	filter.AssertCommittedPath(ld.Seq, "svw load commit")
+	seq, commit, ok := e.ssbf.LastStore(ld.Addr)
 	if !ok {
 		return false
 	}
-	if e.commitAt[filter.HashIndex(ld.Addr, e.bits)] <= ld.Issued {
-		return false // the aliasing store was already visible at issue
+	visibleAt := ld.Issued
+	if ld.ReadAt > visibleAt {
+		visibleAt = ld.ReadAt
 	}
-	if ld.ForwardedFrom != 0 && seq < ld.ForwardedFrom {
-		return false // forwarded from that store (or younger): value is current
+	if commit <= visibleAt {
+		return false // the aliasing store was already visible at the read
+	}
+	// The forwarding-window skip is sound only for fully forwarded loads: a
+	// partial mask would leave cache-read bytes unprotected by the FwdSeq
+	// comparison.
+	if ld.FwdMask == isa.FullMask(ld.Size) && seq <= ld.FwdSeq {
+		return false // forwarded from that store: value is current
 	}
 	if e.variant == config.SVWCheckStores && !ld.UnresolvedOlderStore {
 		*e.cReexecFiltered++

@@ -87,19 +87,83 @@ func TestAliasingCausesFalseReexec(t *testing.T) {
 }
 
 // A load that forwarded from the youngest aliasing store is not vulnerable
-// to it — the vulnerability window starts after the forwarding source.
+// to it — the vulnerability window starts strictly after the forwarding
+// source. The seq == FwdSeq case is the regression for the off-by-one this
+// PR fixes: the committed store IS the forwarding source, so the load's
+// value is current and must not spuriously re-execute.
 func TestForwardedLoadNotVulnerableToItsSource(t *testing.T) {
 	e := New(10, config.SVWBlind)
 	e.StoreCommitted(0x40, 7, 100)
-	ld := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, ForwardedFrom: 8}
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, FwdSeq: 7, FwdMask: 0xff}
 	if e.LoadCommitting(ld) {
-		t.Error("load re-executed against its own forwarding source")
+		t.Error("load re-executed against its own forwarding source (seq == FwdSeq)")
+	}
+	// Forwarding from an even younger store than the committed one is safe
+	// too (seq < FwdSeq).
+	ld1 := &lsq.MemOp{Seq: 10, Addr: 0x40, Size: 8, Issued: 50, FwdSeq: 8, FwdMask: 0xff}
+	if e.LoadCommitting(ld1) {
+		t.Error("load re-executed although it forwarded from a younger store")
 	}
 	// But a YOUNGER aliasing store than the source still triggers it.
 	e.StoreCommitted(0x40, 8, 120)
-	ld2 := &lsq.MemOp{Seq: 12, Addr: 0x40, Size: 8, Issued: 50, ForwardedFrom: 8}
+	ld2 := &lsq.MemOp{Seq: 12, Addr: 0x40, Size: 8, Issued: 50, FwdSeq: 7, FwdMask: 0xff}
 	if !e.LoadCommitting(ld2) {
 		t.Error("load not re-executed against a store younger than its source")
+	}
+}
+
+// A partial forwarding mask must not unlock the forwarding-window skip: the
+// bytes read from the cache are unprotected by the FwdSeq comparison.
+func TestPartialForwardMaskStillVulnerable(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	e.StoreCommitted(0x40, 7, 100)
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, FwdSeq: 7, FwdMask: 0x0f}
+	if !e.LoadCommitting(ld) {
+		t.Error("partially forwarded load skipped re-execution")
+	}
+}
+
+// A load that re-read the cache after a partial-overlap wait (ReadAt past
+// the store's commit) observed the store's bytes and must not re-execute.
+func TestReReadAfterStoreCommitNotVulnerable(t *testing.T) {
+	e := New(10, config.SVWBlind)
+	e.StoreCommitted(0x40, 7, 100)
+	ld := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, ReadAt: 100}
+	if e.LoadCommitting(ld) {
+		t.Error("load re-executed although its final cache read followed the store's commit")
+	}
+	// A read strictly before the commit stays vulnerable.
+	ld2 := &lsq.MemOp{Seq: 9, Addr: 0x40, Size: 8, Issued: 50, ReadAt: 99}
+	if !e.LoadCommitting(ld2) {
+		t.Error("stale re-read not re-executed")
+	}
+}
+
+// The commit cycle used by the issued-before-commit filter must belong to
+// the same store as the matched sequence number, even when several stores
+// hash into one SSBF entry: the youngest write owns both fields.
+func TestEntryPairsSeqWithItsOwnCommitCycle(t *testing.T) {
+	e := New(8, config.SVWBlind)
+	a := uint64(0x100)
+	b := a + (1 << (8 + 3)) // aliases a under 8 bits
+	e.StoreCommitted(a, 5, 40)
+	e.StoreCommitted(b, 6, 100) // different store, same entry, later commit
+	// A load that issued at 50 forwarded from store 6's value? No — it read
+	// addr a. Store 5 (commit 40) was visible; the entry now claims seq 6 /
+	// commit 100, which is a hash alias: conservative re-execution.
+	ld := &lsq.MemOp{Seq: 9, Addr: a, Size: 8, Issued: 50}
+	if !e.LoadCommitting(ld) {
+		t.Error("aliased younger store with later commit not caught")
+	}
+	// The youngest write owns both fields: after both stores commit before
+	// the load's read, the entry must report the last pair and judge the
+	// load safe by that store's commit cycle.
+	e2 := New(8, config.SVWBlind)
+	e2.StoreCommitted(b, 6, 30)
+	e2.StoreCommitted(a, 7, 40)
+	ld2 := &lsq.MemOp{Seq: 9, Addr: a, Size: 8, Issued: 50}
+	if e2.LoadCommitting(ld2) {
+		t.Error("entry mixed an evicted store's commit cycle with the new sequence number")
 	}
 }
 

@@ -156,7 +156,7 @@ func (w *wpSynth) WrongPath(out *isa.Inst) {
 		out.Src1 = 0
 		out.Dst = int16(1 + w.rng.Intn(isa.NumIntRegs-1))
 	}
-	out.Seq = 1<<63 | w.wpSeq // disjoint from committed-path sequence space
+	out.Seq = isa.WrongPathSeqBit | w.wpSeq // disjoint from committed-path sequence space
 	w.wpSeq++
 }
 
