@@ -18,6 +18,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -272,23 +273,95 @@ func (s *Sim) RestoreWarmState(hs *mem.HierarchyState) error {
 // intervals separated by SampleBleedInsts of functional fast-forward, so
 // the measurement spans several program phases.
 func (s *Sim) Run() *Result {
+	res, _ := s.run(nil)
+	return res
+}
+
+// RunContext runs like Run but aborts promptly when ctx is cancelled,
+// returning ctx's error and no result. Cancellation is checked between
+// bounded instruction chunks (cancelChunk) during both the functional
+// warm-up and the measured phase, so even a multi-million-instruction job
+// frees its worker within a fraction of a second of cancellation. A run
+// that completes is bit-identical to one produced by Run: the chunking
+// only changes where the simulator looks at the clock, never what it
+// simulates (Source.Warmup is contractually equivalent to the same number
+// of Next calls regardless of how the count is split).
+func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
+	res, ok := s.run(ctx.Done())
+	if !ok {
+		return nil, ctx.Err()
+	}
+	return res, nil
+}
+
+// cancelChunk is the number of instructions simulated between cancellation
+// checks in RunContext. Large enough that the check is free relative to the
+// work, small enough that cancellation latency stays in the milliseconds.
+const cancelChunk = 1 << 16
+
+// canceled reports whether done (a context's Done channel, possibly nil)
+// has fired.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// warm advances the committed path n instructions functionally. With a
+// cancellation channel the advance is split into cancelChunk pieces —
+// equivalent by the Source.Warmup contract — so a long warm-up can abort.
+// It reports false if cancellation fired.
+func (s *Sim) warm(n uint64, access func(addr uint64), done <-chan struct{}) bool {
+	for done != nil && n > cancelChunk {
+		s.gen.Warmup(cancelChunk, access)
+		n -= cancelChunk
+		if canceled(done) {
+			return false
+		}
+	}
+	s.gen.Warmup(n, access)
+	return !canceled(done)
+}
+
+// run is the shared body of Run and RunContext. It reports ok=false (and a
+// nil result) if done fired before the measured phase completed.
+func (s *Sim) run(done <-chan struct{}) (res *Result, ok bool) {
 	var in isa.Inst
 	warmAccess := func(addr uint64) { s.hier.Access(addr) }
 	if !s.warmed {
-		s.gen.Warmup(s.cfg.WarmupInsts, warmAccess)
+		if !s.warm(s.cfg.WarmupInsts, warmAccess, done) {
+			return nil, false
+		}
 	}
 	intervals, bleed := s.cfg.Intervals()
 	per := s.cfg.MaxInsts / uint64(intervals)
 	target := s.cfg.MaxInsts - per*uint64(intervals-1) // first interval absorbs the remainder
 	for k := 0; ; k++ {
 		for s.committed < target {
-			s.gen.Next(&in)
-			s.step(&in)
+			limit := target
+			if done != nil && s.committed+cancelChunk < limit {
+				limit = s.committed + cancelChunk
+			}
+			for s.committed < limit {
+				s.gen.Next(&in)
+				s.step(&in)
+			}
+			if canceled(done) {
+				return nil, false
+			}
 		}
 		if k == intervals-1 {
 			break
 		}
-		s.gen.Warmup(bleed, warmAccess)
+		if !s.warm(bleed, warmAccess, done) {
+			return nil, false
+		}
 		target += per
 	}
 	if s.epochs != nil {
@@ -303,7 +376,7 @@ func (s *Sim) Run() *Result {
 	if s.llBusyUntil < cycles {
 		s.llIdle += cycles - s.llBusyUntil
 	}
-	res := &Result{
+	res = &Result{
 		Bench:     s.gen.Name(),
 		Suite:     s.gen.Suite(),
 		Config:    s.cfg.Name(),
@@ -329,7 +402,7 @@ func (s *Sim) Run() *Result {
 			res.AvgEpochs = float64(s.epochs.ActiveCycleSum) / float64(busy)
 		}
 	}
-	return res
+	return res, true
 }
 
 func max64(a, b int64) int64 {

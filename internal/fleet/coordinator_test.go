@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// seedSpecs builds n distinct single-bench specs (seeds 1..n).
+func seedSpecs(t *testing.T, n int) []JobSpec {
+	t.Helper()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		cfg := config.Default().WithBudget(1_000, 2_000)
+		specs[i] = Spec(sweep.Job{Config: cfg, Bench: prof, Seed: uint64(i + 1)})
+	}
+	return specs
+}
+
+// TestCoordinatorConcurrentOps hammers the coordinator state machine from
+// many goroutines — concurrent submissions, leases, renews, completions,
+// transient failures and status reads — and requires every sweep to
+// resolve. Its real teeth are under `go test -race`, where any unlocked
+// state access in the lease table fails the build.
+func TestCoordinatorConcurrentOps(t *testing.T) {
+	jobs := fleetJobs(t)[:1]
+	local, _ := runLocal(t, jobs)
+	r := local[0].Result // any valid result satisfies the upload gate
+
+	co := NewCoordinator(Options{MaxAttempts: 4})
+	specs := seedSpecs(t, 32)
+
+	// Four submitters race eight specs each (sweeps may interleave).
+	var ids [4]string
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := co.Submit(specs[i*8 : (i+1)*8])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = sub.ID
+		}(i)
+	}
+	wg.Wait()
+
+	finished := func() bool {
+		for _, id := range ids {
+			st, ok := co.Status(id)
+			if !ok || !st.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(i)))
+			name := fmt.Sprintf("w%d", i)
+			for {
+				lr, ok := co.Lease(name)
+				if !ok {
+					if finished() {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				switch rnd.Intn(10) {
+				case 0:
+					co.Fail(lr.Key, lr.Lease, "injected transient failure", false)
+				case 1:
+					co.Renew(lr.Key, lr.Lease)
+					co.Complete(lr.Key, lr.Lease, r)
+				default:
+					co.Complete(lr.Key, lr.Lease, r)
+				}
+				co.Status(ids[rnd.Intn(len(ids))])
+				co.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		st, ok := co.Status(id)
+		if !ok {
+			t.Fatalf("sweep %s vanished", id)
+		}
+		if st.Done+st.Failed != st.Total {
+			t.Errorf("sweep %s ended unresolved: %+v", id, st)
+		}
+		if st.Failed > 0 && len(st.Errors) == 0 {
+			t.Errorf("sweep %s failed jobs without error samples", id)
+		}
+	}
+	if cs := co.Stats(); cs.Queued != 0 || cs.Leased != 0 {
+		t.Errorf("residual work after all sweeps finished: %+v", cs)
+	}
+}
+
+// TestLeaseExpiryExhaustionFails drives one job through repeated worker
+// deaths on an injected clock: each expiry re-dispatches with a higher
+// attempt count until MaxAttempts is burned, at which point the job fails
+// permanently and the sweep finishes.
+func TestLeaseExpiryExhaustionFails(t *testing.T) {
+	clock := newFakeClock()
+	co := NewCoordinator(Options{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
+	sub, err := co.Submit(seedSpecs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lr, ok := co.Lease("w0")
+	if !ok || lr.Attempt != 1 {
+		t.Fatalf("lease 1: ok=%v attempt=%d", ok, lr.Attempt)
+	}
+	clock.Advance(61 * time.Second)
+	co.Expire()
+
+	lr2, ok := co.Lease("w1")
+	if !ok || lr2.Attempt != 2 {
+		t.Fatalf("lease 2 after expiry: ok=%v attempt=%d", ok, lr2.Attempt)
+	}
+	if lr2.Key != lr.Key || lr2.Lease == lr.Lease {
+		t.Fatal("re-dispatch must reuse the key under a fresh lease token")
+	}
+	// The expired lease is dead: its renew must be refused.
+	if _, err := co.Renew(lr.Key, lr.Lease); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renew of expired lease returned %v, want ErrLeaseLost", err)
+	}
+
+	clock.Advance(61 * time.Second)
+	co.Expire()
+	if _, ok := co.Lease("w2"); ok {
+		t.Fatal("job dispatched a third time past MaxAttempts")
+	}
+	st, _ := co.Status(sub.ID)
+	if st.Failed != 1 || !st.Finished() {
+		t.Fatalf("exhausted job status %+v, want 1 permanent failure", st)
+	}
+	if len(st.Errors) == 0 {
+		t.Error("permanent failure left no error sample")
+	}
+}
+
+// TestSubmitRejectsBadSpec: a malformed spec poisons nothing — the whole
+// submission is refused atomically.
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	co := NewCoordinator(Options{})
+	specs := seedSpecs(t, 2)
+	specs[1].Bench = "no-such-bench"
+	if _, err := co.Submit(specs); err == nil {
+		t.Fatal("submission with an unknown benchmark accepted")
+	}
+	if _, ok := co.Lease("w0"); ok {
+		t.Fatal("rejected submission left work in the queue")
+	}
+}
+
+// TestCancelDropsPendingRevokesLeased pins the two cancellation paths:
+// pending tasks leave the queue immediately, leased ones are revoked at
+// their next renew.
+func TestCancelDropsPendingRevokesLeased(t *testing.T) {
+	co := NewCoordinator(Options{})
+	sub, err := co.Submit(seedSpecs(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := co.Lease("w0")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	if err := co.Cancel(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := co.Lease("w1"); ok {
+		t.Fatal("cancelled sweep still dispatches pending jobs")
+	}
+	if _, err := co.Renew(lr.Key, lr.Lease); !errors.Is(err, ErrGone) {
+		t.Fatalf("renew of a cancelled job returned %v, want ErrGone", err)
+	}
+	st, _ := co.Status(sub.ID)
+	if !st.Canceled || !st.Finished() {
+		t.Fatalf("cancelled sweep status %+v", st)
+	}
+	// Cancelling twice is idempotent; cancelling the unknown is not found.
+	if err := co.Cancel(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Cancel("s999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel of unknown sweep returned %v", err)
+	}
+}
+
+// TestPutResultResolvesPendingTask: priming the result blob space counts
+// as an anonymous completion — a queued task for the key resolves and its
+// sweep observes the progress.
+func TestPutResultResolvesPendingTask(t *testing.T) {
+	jobs := fleetJobs(t)[:1]
+	local, _ := runLocal(t, jobs)
+
+	co := NewCoordinator(Options{})
+	sub, err := co.Submit([]JobSpec{Spec(jobs[0])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.PutResult(local[0].Key, local[0].Result); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := co.Status(sub.ID)
+	if st.Done != 1 {
+		t.Fatalf("primed result did not resolve the task: %+v", st)
+	}
+	if _, ok := co.Lease("w0"); ok {
+		t.Fatal("resolved task still dispatched")
+	}
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultMode selects what a matched Fault does to the exchange.
+type FaultMode int
+
+// Fault modes. DropRequest fails before the server sees anything (a lost
+// request); DropResponse delivers the request and then fails (the server
+// acted, the client doesn't know — the retry that follows is a duplicated
+// delivery); Delay stalls the exchange; Duplicate delivers the request
+// twice back to back; CorruptResponse flips bytes in the response body so
+// digest verification must catch it.
+const (
+	DropRequest FaultMode = iota
+	DropResponse
+	Delay
+	Duplicate
+	CorruptResponse
+)
+
+// String names the mode for logs.
+func (m FaultMode) String() string {
+	switch m {
+	case DropRequest:
+		return "drop-request"
+	case DropResponse:
+		return "drop-response"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case CorruptResponse:
+		return "corrupt-response"
+	}
+	return fmt.Sprintf("FaultMode(%d)", int(m))
+}
+
+// Fault is one injection rule.
+type Fault struct {
+	// Match selects the requests the rule applies to; nil matches all.
+	Match func(*http.Request) bool
+	// Mode is what happens to a matched exchange.
+	Mode FaultMode
+	// Count bounds how many times the rule fires (0 = unlimited).
+	Count int
+	// Delay is the stall for Delay mode.
+	Delay time.Duration
+}
+
+// MatchPath returns a Match function selecting requests whose URL path
+// contains substr.
+func MatchPath(substr string) func(*http.Request) bool {
+	return func(r *http.Request) bool { return strings.Contains(r.URL.Path, substr) }
+}
+
+// FaultTransport is an http.RoundTripper that injects transport failures
+// into an inner transport: the in-process fault harness the fleet tests
+// drive worker and client resilience with. Rules fire in the order they
+// were added; at most one rule fires per exchange. Safe for concurrent
+// use.
+type FaultTransport struct {
+	// Inner performs the real exchanges (http.DefaultTransport when nil).
+	Inner http.RoundTripper
+
+	mu       sync.Mutex
+	rules    []*faultRule
+	injected map[FaultMode]int
+}
+
+type faultRule struct {
+	f         Fault
+	remaining int // <0 = unlimited
+}
+
+// NewFaultTransport wraps inner (nil for http.DefaultTransport).
+func NewFaultTransport(inner http.RoundTripper) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultTransport{Inner: inner, injected: make(map[FaultMode]int)}
+}
+
+// Add installs an injection rule.
+func (t *FaultTransport) Add(f Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rem := f.Count
+	if rem == 0 {
+		rem = -1
+	}
+	t.rules = append(t.rules, &faultRule{f: f, remaining: rem})
+}
+
+// Injected reports how many faults of each mode have fired.
+func (t *FaultTransport) Injected() map[FaultMode]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[FaultMode]int, len(t.injected))
+	for k, v := range t.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// pick claims the first live rule matching req, if any.
+func (t *FaultTransport) pick(req *http.Request) *Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rules {
+		if r.remaining == 0 {
+			continue
+		}
+		if r.f.Match != nil && !r.f.Match(req) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		t.injected[r.f.Mode]++
+		return &r.f
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.pick(req)
+	if f == nil {
+		return t.Inner.RoundTrip(req)
+	}
+	switch f.Mode {
+	case DropRequest:
+		// The request never reaches the server. Drain and discard the
+		// body as a real transport would.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("fleet fault: request dropped (%s %s)", req.Method, req.URL.Path)
+
+	case DropResponse:
+		// The server processes the request; the response is lost. The
+		// caller's retry becomes a duplicated delivery.
+		resp, err := t.Inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("fleet fault: response dropped (%s %s)", req.Method, req.URL.Path)
+
+	case Delay:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.Inner.RoundTrip(req)
+
+	case Duplicate:
+		// Deliver twice: the first exchange completes and is discarded,
+		// then the request is replayed and its response returned.
+		first, err := t.Inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, first.Body)
+		first.Body.Close()
+		replay, err := cloneRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("fleet fault: cannot replay request: %w", err)
+		}
+		return t.Inner.RoundTrip(replay)
+
+	case CorruptResponse:
+		resp, err := t.Inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > 0 {
+			body[len(body)/2] ^= 0x5a
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	}
+	return t.Inner.RoundTrip(req)
+}
+
+// cloneRequest rebuilds a request for replay, re-materialising the body
+// via GetBody (set automatically for byte-reader bodies).
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.GetBody == nil {
+		return clone, nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	clone.Body = body
+	return clone, nil
+}

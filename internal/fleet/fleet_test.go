@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fleetJobs builds the 12-point reference grid: two ERT organisations ×
+// three benchmarks × two seeds, at a budget small enough that the whole
+// grid simulates in well under a second.
+func fleetJobs(t *testing.T) []sweep.Job {
+	t.Helper()
+	var jobs []sweep.Job
+	for _, ert := range []config.ERTKind{config.ERTLine, config.ERTHash} {
+		for _, name := range []string{"gcc", "swim", "mcf"} {
+			prof, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(1); seed <= 2; seed++ {
+				cfg := config.Default().WithBudget(2_000, 10_000)
+				cfg.ERT = ert
+				jobs = append(jobs, sweep.Job{Config: cfg, Bench: prof, Seed: seed})
+			}
+		}
+	}
+	return jobs
+}
+
+// runLocal runs jobs on a single-process sweep.Runner and returns the
+// outcomes with their canonical results digest — the reference every fleet
+// run must be byte-identical to.
+func runLocal(t *testing.T, jobs []sweep.Job) ([]sweep.Outcome, string) {
+	t.Helper()
+	out, _, err := (&sweep.Runner{Workers: 4}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, sweep.ResultsDigest(out)
+}
+
+// startFleet boots a coordinator behind an httptest server.
+func startFleet(t *testing.T, opts Options) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co := NewCoordinator(opts)
+	srv := httptest.NewServer(NewServer(co))
+	t.Cleanup(srv.Close)
+	return co, srv
+}
+
+// newTestClient builds a fast-retry client, optionally behind a fault
+// transport.
+func newTestClient(base string, rt http.RoundTripper) *Client {
+	c := NewClient(base)
+	c.RetryBase = 5 * time.Millisecond
+	c.RetryCap = 50 * time.Millisecond
+	if rt != nil {
+		c.HTTP = &http.Client{Transport: rt}
+	}
+	return c
+}
+
+// startWorkers launches n in-process workers against base, all sharing rt
+// (nil for a clean transport), and tears them down at test cleanup.
+func startWorkers(t *testing.T, base string, n int, rt http.RoundTripper) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Client:   newTestClient(base, rt),
+			Name:     fmt.Sprintf("w%d", i),
+			Poll:     10 * time.Millisecond,
+			TraceDir: t.TempDir(),
+			OnEvent:  func(s string) { t.Log(s) },
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+}
+
+// fakeClock is an injectable coordinator clock for deterministic lease
+// expiry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// recordTestTrace records a full-budget .elt for (bench, seed) under cfg
+// and returns its path, raw bytes and content digest.
+func recordTestTrace(t *testing.T, cfg *config.Config, bench string, seed uint64) (string, []byte, string) {
+	t.Helper()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := trace.BenchPath(t.TempDir(), bench, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(f, prof.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Record(cfg.WarmupInsts + cfg.MaxInsts); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, b, tr.Meta().Digest
+}
+
+// testCtx returns a context that fails the test cleanly on timeout rather
+// than letting a stuck fleet hang the suite.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestJobSpecRoundTrip pins the wire form: a spec reconstructs a job whose
+// key is byte-identical to the submitter's, and Key() agrees without
+// resolving the profile.
+func TestJobSpecRoundTrip(t *testing.T) {
+	for _, j := range fleetJobs(t) {
+		s := Spec(j)
+		if s.Key() != j.Key() {
+			t.Fatalf("spec key %s != job key %s", s.Key(), j.Key())
+		}
+		back, err := s.Job()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Key() != j.Key() {
+			t.Fatalf("round-tripped job key %s != %s", back.Key(), j.Key())
+		}
+	}
+}

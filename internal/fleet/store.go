@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// TraceStore is the content-addressed .elt store behind the trace blob
+// space: traces keyed by their trace.Meta().Digest. With a directory it
+// persists (and indexes whatever *.elt files are already there, so
+// elsqserve -tracedir serves an existing elsqtrace recording tree);
+// without one it holds bytes in memory. Safe for concurrent use.
+type TraceStore struct {
+	dir string
+
+	mu   sync.RWMutex
+	path map[string]string // digest -> file path
+	mem  map[string][]byte // digest -> raw bytes (dirless store)
+}
+
+// NewTraceStore opens a trace store. dir == "" keeps traces in memory;
+// otherwise the directory is created if needed and every existing .elt
+// file in it is indexed by content digest.
+func NewTraceStore(dir string) (*TraceStore, error) {
+	s := &TraceStore{dir: dir, path: make(map[string]string), mem: make(map[string][]byte)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: trace dir: %w", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: trace dir: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".elt") {
+			continue
+		}
+		p := filepath.Join(dir, de.Name())
+		t, err := trace.Open(p)
+		if err != nil {
+			continue // foreign or damaged file; not served
+		}
+		s.path[t.Meta().Digest] = p
+	}
+	return s, nil
+}
+
+// Len reports the number of indexed traces.
+func (s *TraceStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.path) + len(s.mem)
+}
+
+// Get returns the raw .elt bytes for digest.
+func (s *TraceStore) Get(digest string) ([]byte, bool) {
+	s.mu.RLock()
+	p, onDisk := s.path[digest]
+	b, inMem := s.mem[digest]
+	s.mu.RUnlock()
+	if inMem {
+		return b, true
+	}
+	if !onDisk {
+		return nil, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put stores .elt bytes under digest after verifying that they decode to a
+// well-formed trace whose content digest is exactly the claimed one — a
+// corrupted or mislabelled upload is rejected, never stored.
+func (s *TraceStore) Put(digest string, b []byte) error {
+	t, err := trace.New(append([]byte(nil), b...))
+	if err != nil {
+		return fmt.Errorf("fleet: trace %s: %w", digest, err)
+	}
+	if err := t.Verify(); err != nil {
+		return fmt.Errorf("fleet: trace %s: %w", digest, err)
+	}
+	if got := t.Meta().Digest; got != digest {
+		return fmt.Errorf("fleet: trace upload claims digest %s but content digests to %s", digest, got)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		s.mem[digest] = append([]byte(nil), b...)
+		return nil
+	}
+	if _, ok := s.path[digest]; ok {
+		return nil // content-addressed: an existing entry is identical
+	}
+	p := filepath.Join(s.dir, digest+".elt")
+	tmp, err := os.CreateTemp(s.dir, digest+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: trace store: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: trace store: write failed")
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: trace store: %w", err)
+	}
+	s.path[digest] = p
+	return nil
+}

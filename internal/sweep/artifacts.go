@@ -1,13 +1,51 @@
 package sweep
 
 import (
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
+
+	"repro/internal/cpu"
 )
+
+// ResultDigest returns the stable content digest of one simulation result:
+// sha256 of its canonical JSON encoding, truncated to 16 bytes of hex.
+// The encoding is deterministic (counter bags marshal as sorted maps), and
+// it is stable across a JSON round-trip, so a result that travelled over
+// the fleet wire digests identically to the in-process original.
+func ResultDigest(r *cpu.Result) string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result is a flat struct of numbers, text-marshalling enums and
+		// JSON-marshalling stats; encoding can only fail if it gains an
+		// unserialisable field, which must not happen silently.
+		panic(fmt.Sprintf("sweep: result encoding failed: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// ResultsDigest folds an outcome sequence into one digest: per outcome, in
+// order, the job key and the result's content digest (failed jobs fold a
+// marker). Axis labels and cache-hit flags are excluded — the digest names
+// what was computed, not how it was scheduled or served — so a fleet sweep
+// and a local Runner run of the same grid must produce equal digests.
+func ResultsDigest(outcomes []Outcome) string {
+	h := sha256.New()
+	for _, o := range outcomes {
+		if o.Result == nil {
+			fmt.Fprintf(h, "%s|!\n", o.Key)
+			continue
+		}
+		fmt.Fprintf(h, "%s|%s\n", o.Key, ResultDigest(o.Result))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
 
 // Row is one simulation outcome flattened for artifacts: the identity of
 // the point (config name + hash, axis labels, benchmark, seed), the headline
@@ -68,6 +106,10 @@ func Rows(outcomes []Outcome) []Row {
 type Artifact struct {
 	// Stats summarises the run (job counts, cache hits).
 	Stats Stats `json:"stats"`
+	// ResultsDigest is the ResultsDigest of the outcome sequence: equal
+	// digests mean byte-identical results in identical canonical order,
+	// which is how CI compares a fleet sweep against a local run.
+	ResultsDigest string `json:"results_digest"`
 	// Rows holds one entry per successful job in submission order.
 	Rows []Row `json:"rows"`
 }
@@ -76,7 +118,7 @@ type Artifact struct {
 func WriteJSON(w io.Writer, outcomes []Outcome, stats Stats) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Artifact{Stats: stats, Rows: Rows(outcomes)})
+	return enc.Encode(Artifact{Stats: stats, ResultsDigest: ResultsDigest(outcomes), Rows: Rows(outcomes)})
 }
 
 // WriteCSV writes the outcomes as CSV. Fixed columns come first, then one

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestRunContextCancelFreesWorkersPromptly pins the contract the fleet
+// coordinator relies on to reclaim workers from abandoned sweeps: a
+// cancelled RunContext must return well before the jobs would have
+// finished, with ctx.Err() as the error and nil results on the jobs that
+// were cut short.
+func TestRunContextCancelFreesWorkersPromptly(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A grid that would take on the order of minutes: far beyond what the
+	// cancellation window below allows, so a pass proves the abort path.
+	var jobs []Job
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := config.Default().WithBudget(500_000_000, 0)
+		jobs = append(jobs, Job{Config: cfg, Bench: prof, Seed: seed})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	r := &Runner{Workers: 2}
+	start := time.Now()
+	out, _, err := r.RunContext(ctx, jobs)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to free the pool; want prompt return", elapsed)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(out), len(jobs))
+	}
+	for i, o := range out {
+		if o.Result != nil && o.Result.Committed != jobs[i].Config.MaxInsts {
+			t.Errorf("job %d: partial result leaked (%d committed)", i, o.Result.Committed)
+		}
+	}
+}
+
+// TestRunContextBackgroundMatchesRun pins that the chunked cancellation
+// plumbing is inert without a deadline: RunContext(Background) and Run
+// produce identical results.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	jobs := detJobs(t)[:2]
+	a, _, err := (&Runner{Workers: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := (&Runner{Workers: 1}).RunContext(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultsDigest(a) != ResultsDigest(b) {
+		t.Fatalf("Run and RunContext(Background) digests differ: %s != %s",
+			ResultsDigest(a), ResultsDigest(b))
+	}
+}

@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -195,6 +196,18 @@ func (w *warmEntry) resolve(store ckpt.Store, j Job) (built bool) {
 // unaffected jobs still complete, and the failed jobs' outcomes carry a nil
 // Result.
 func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled,
+// workers stop picking up pending jobs and in-flight simulations abort at
+// their next cancellation check (cpu.RunContext checks every few tens of
+// thousands of instructions), so the pool drains promptly no matter how
+// large the remaining grid is. The returned error is ctx.Err(); outcomes
+// of jobs that never ran (or were aborted) carry a nil Result. The one
+// uncancellable stretch is a warm-up checkpoint build already in progress,
+// which is bounded by a single functional warm-up.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Outcome, Stats, error) {
 	stats := Stats{Total: len(jobs)}
 	byKey := make(map[string]*slot, len(jobs))
 	var unique []*slot
@@ -273,12 +286,15 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				n := cursor.Add(1) - 1
 				if n >= int64(len(pending)) {
 					return
 				}
 				s := pending[n]
-				s.res, s.err = r.runSlot(s, &built, &resumed)
+				s.res, s.err = r.runSlot(ctx, s, &built, &resumed)
 				if s.err == nil && r.Cache != nil {
 					r.Cache.Put(s.key, s.res)
 				}
@@ -289,6 +305,9 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 	wg.Wait()
 	stats.CheckpointsBuilt = int(built.Load())
 	stats.CheckpointResumes = int(resumed.Load())
+	if err := ctx.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 
 	out := make([]Outcome, len(jobs))
 	for _, s := range unique {
@@ -305,7 +324,7 @@ func (r *Runner) Run(jobs []Job) ([]Outcome, Stats, error) {
 // runSlot simulates one pending slot, resuming from the slot's shared
 // warm-up checkpoint when one is available. A checkpoint problem is never
 // fatal — the job falls back to a full warm-up, which is merely slower.
-func (r *Runner) runSlot(s *slot, built, resumed *atomic.Int64) (*cpu.Result, error) {
+func (r *Runner) runSlot(ctx context.Context, s *slot, built, resumed *atomic.Int64) (*cpu.Result, error) {
 	if s.warm != nil {
 		if s.warm.resolve(r.Checkpoints, s.job) {
 			built.Add(1)
@@ -314,17 +333,17 @@ func (r *Runner) runSlot(s *slot, built, resumed *atomic.Int64) (*cpu.Result, er
 			sim, err := ckpt.Resume(s.job.Config, s.warm.snap, s.job.Bench.Name, s.job.Seed)
 			if err == nil {
 				resumed.Add(1)
-				return sim.Run(), nil
+				return sim.RunContext(ctx)
 			}
 		}
 	}
-	return runJob(s.job)
+	return runJob(ctx, s.job)
 }
 
 // runJob simulates one job with a full functional warm-up, driven by the
 // live generator or — for trace-driven configs — a replay of the job's
 // recorded trace.
-func runJob(j Job) (*cpu.Result, error) {
+func runJob(ctx context.Context, j Job) (*cpu.Result, error) {
 	src, err := trace.SourceFor(&j.Config, j.Bench, j.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
@@ -333,5 +352,5 @@ func runJob(j Job) (*cpu.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
 	}
-	return sim.Run(), nil
+	return sim.RunContext(ctx)
 }
