@@ -11,6 +11,7 @@
 //	elsqbench -compare old.json -enforce-throughput   # before/after on one host
 //	elsqbench -smoke -resume-check                    # ckpt-resumed == full digests
 //	elsqbench -ckpt-speedup                           # warm-up-sharing wall-clock win
+//	elsqbench -smoke -batch 8                         # batched == scalar digests
 //
 // Regression semantics (see internal/bench): results digests and headline
 // metrics are deterministic and must match the baseline exactly on the
@@ -49,6 +50,8 @@ func main() {
 	ckptSpeedup := flag.Bool("ckpt-speedup", false, "measure a 3-config sweep sharing one warm-up checkpoint vs three full warm-ups and print the wall-clock ratio")
 	speedupBench := flag.String("ckpt-speedup-bench", "swim", "benchmark for -ckpt-speedup")
 	oracleCertify := flag.Bool("oracle", false, "certify each point against the differential correctness oracle (internal/oracle) instead of measuring; fails on any committed-load value mismatch")
+	batchLanes := flag.Int("batch", 0, "run each point's benchmark as this many warm-up-sharing lanes on the batch engine and as sequential scalar runs, fail on any results-digest divergence, and print the aggregate speedup (no throughput measurement)")
+	batchWarmup := flag.Uint64("batch-warmup", 0, "override WarmupInsts for -batch points (0 keeps the matrix budget); the shared-warm-up speedup scales with the warm:measure ratio, so headline numbers use the paper's 2.5M-instruction warm-up")
 	flag.Parse()
 
 	if *gcPercent > 0 {
@@ -89,6 +92,15 @@ func main() {
 	}
 	if *oracleCertify {
 		runOracleCertify(points)
+		return
+	}
+	if *batchLanes > 0 {
+		if *batchWarmup > 0 {
+			for i := range points {
+				points[i].Config.WarmupInsts = *batchWarmup
+			}
+		}
+		runBatchCheck(points, *batchLanes)
 		return
 	}
 
@@ -185,6 +197,39 @@ func runResumeCheck(points []bench.Point) {
 		fatalf("checkpoint-resumed results diverged from full-warm-up results")
 	}
 	fmt.Println("resume-check: all digests identical")
+}
+
+// runBatchCheck verifies the batch engine's determinism contract over the
+// selected matrix points: K warm-up-compatible lanes (MispredictPenalty
+// variants) run scalar and batched must produce identical digests with the
+// oracle clean, and the batched pass should be faster in aggregate.
+func runBatchCheck(points []bench.Point, lanes int) {
+	failed := false
+	for _, p := range points {
+		chk, err := p.VerifyBatch(lanes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "ok"
+		switch {
+		case chk.ScalarDigest != chk.BatchDigest:
+			status = "MISMATCH"
+			failed = true
+		case !chk.Batched:
+			status = "NOT BATCHED"
+			failed = true
+		case chk.OracleViolations > 0:
+			status = fmt.Sprintf("%d ORACLE VIOLATION(S)", chk.OracleViolations)
+			failed = true
+		}
+		fmt.Printf("%-18s %d lanes of %s: scalar %s (%.0f ms)  batch %s (%.0f ms, %.2fx)  %s\n",
+			chk.Name, chk.Lanes, chk.Bench, chk.ScalarDigest, float64(chk.ScalarNS)/1e6,
+			chk.BatchDigest, float64(chk.BatchNS)/1e6, chk.Speedup(), status)
+	}
+	if failed {
+		fatalf("batched results diverged from scalar results")
+	}
+	fmt.Println("batch-check: all digests identical, oracle clean")
 }
 
 // runCkptSpeedup prints the headline warm-up-sharing numbers: a 3-config

@@ -35,9 +35,20 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/oracle"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// checkPoint runs one fuzz point with the differential oracle attached and
+// returns the checker (never nil on a nil error).
+func checkPoint(p oracle.FuzzPoint) (*oracle.Checker, error) {
+	out, err := simrun.Point{Config: p.Config, Bench: p.Bench, Seed: p.Seed, Oracle: true}.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	return out.Oracle, nil
+}
 
 func main() {
 	smoke := flag.Bool("smoke", false, "deterministic CI budget: seed 1, 60s wall-clock cap")
@@ -89,7 +100,7 @@ func main() {
 					return
 				}
 				p := oracle.RandomPoint(s)
-				ck, err := oracle.CheckPoint(p)
+				ck, err := checkPoint(p)
 				if err != nil {
 					mu.Lock()
 					fmt.Fprintf(os.Stderr, "seed %d: %s: %v\n", s, p.Label(), err)
@@ -139,7 +150,7 @@ type repro struct {
 // repro artifacts. It returns true when the point certified clean.
 func runOne(s uint64, out string, standalone bool) bool {
 	p := oracle.RandomPoint(s)
-	ck, err := oracle.CheckPoint(p)
+	ck, err := checkPoint(p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
 		return false
@@ -155,7 +166,7 @@ func runOne(s uint64, out string, standalone bool) bool {
 	}
 	min := minimise(p)
 	var vs []string
-	if mck, err := oracle.CheckPoint(min); err == nil {
+	if mck, err := checkPoint(min); err == nil {
 		for _, v := range mck.Violations() {
 			vs = append(vs, v.String())
 		}
@@ -172,7 +183,7 @@ func runOne(s uint64, out string, standalone bool) bool {
 // sampled measurement, drop the warm-up, then halve the measured budget.
 func minimise(p oracle.FuzzPoint) oracle.FuzzPoint {
 	fails := func(q oracle.FuzzPoint) bool {
-		ck, err := oracle.CheckPoint(q)
+		ck, err := checkPoint(q)
 		return err == nil && ck.Err() != nil
 	}
 	if q := p; q.Config.SampleIntervals > 1 {

@@ -17,7 +17,7 @@ import (
 	"os"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
+	"repro/internal/simrun"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -93,8 +93,8 @@ func main() {
 
 	if *tracePath != "" {
 		// The trace is self-describing: it names the benchmark and seed it
-		// records, so the run adopts them. Cached parses the file once;
-		// SourceFor below hits the same entry instead of re-reading it.
+		// records, so the run adopts them. Cached parses the file once; the
+		// simrun point below hits the same entry instead of re-reading it.
 		t, err := trace.Cached(*tracePath)
 		if err != nil {
 			fatalf("%v", err)
@@ -103,19 +103,11 @@ func main() {
 		cfg.TraceDigest = t.Meta().Digest
 		*bench, *seed = t.Meta().Bench, t.Meta().Seed
 	}
-	prof, err := workload.ByName(*bench)
+	out, err := simrun.Point{Config: cfg, Bench: *bench, Seed: *seed}.Run(nil)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	src, err := trace.SourceFor(&cfg, prof, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	sim, err := cpu.New(cfg, src)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	r := sim.Run()
+	r := out.Result
 
 	fmt.Printf("benchmark   %s (%s)\n", r.Bench, r.Suite)
 	fmt.Printf("config      %s\n", r.Config)

@@ -8,35 +8,15 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
+	"repro/internal/exutil"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
-
-var (
-	insts  = flag.Uint64("insts", 80_000, "measured instructions per simulation")
-	warmup = flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
-)
-
-func run(cfg config.Config, bench string) *cpu.Result {
-	prof, err := workload.ByName(bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim, err := cpu.New(cfg.WithBudget(*insts, *warmup), prof.New(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sim.Run()
-}
 
 func main() {
-	flag.Parse()
+	budget := exutil.ParseBudget(80_000)
 	benches := []string{"gcc", "applu", "gap"}
 	fmt.Println("Hash-ERT sizing (false positives per 100M insts, mean of",
 		benches, "):")
@@ -46,7 +26,7 @@ func main() {
 		cfg.ERTHashBits = bits
 		var fp, ipc float64
 		for _, b := range benches {
-			r := run(cfg, b)
+			r := budget.MustRun(cfg, b)
 			fp += stats.Per100M(r.Counters.Get("ert_false_positive"), r.Committed)
 			ipc += r.IPC
 		}
@@ -59,7 +39,7 @@ func main() {
 	cfg.ERT = config.ERTLine
 	var fp, ipc float64
 	for _, b := range benches {
-		r := run(cfg, b)
+		r := budget.MustRun(cfg, b)
 		fp += stats.Per100M(r.Counters.Get("ert_false_positive"), r.Committed)
 		ipc += r.IPC
 	}

@@ -8,50 +8,27 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
-	"repro/internal/workload"
+	"repro/internal/exutil"
 )
 
 func main() {
-	insts := flag.Uint64("insts", 80_000, "measured instructions per simulation")
-	warmup := flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
-	flag.Parse()
-
-	prof, err := workload.ByName("art")
-	if err != nil {
-		log.Fatal(err)
-	}
+	budget := exutil.ParseBudget(80_000)
 
 	fmt.Println("art (stream, heavy misses): IPC vs number of memory engines")
 	fmt.Printf("%8s %10s %8s\n", "epochs", "window", "IPC")
 	for _, n := range []int{1, 2, 4, 8, 16} {
-		cfg := config.Default().WithBudget(*insts, *warmup)
+		cfg := config.Default()
 		cfg.NumEpochs = n
-		sim, err := cpu.New(cfg, prof.New(1))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r := sim.Run()
+		r := budget.MustRun(cfg, "art")
 		fmt.Printf("%8d %10d %8.3f\n", n, cfg.WindowSize(), r.IPC)
 	}
 
 	fmt.Println("\nExecution locality (fraction of address calcs within 30 cycles of decode):")
 	for _, name := range []string{"swim", "sixtrack", "gcc", "mcf", "equake"} {
-		p, err := workload.ByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := config.Default().WithBudget(*insts, *warmup)
-		sim, err := cpu.New(cfg, p.New(1))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r := sim.Run()
+		r := budget.MustRun(config.Default(), name)
 		fmt.Printf("  %-10s loads %5.1f%%   stores %5.1f%%\n",
 			name, 100*r.LoadDist.FracWithin(30), 100*r.StoreDist.FracWithin(30))
 	}

@@ -8,43 +8,23 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
-	"repro/internal/workload"
+	"repro/internal/exutil"
 )
-
-var (
-	insts  = flag.Uint64("insts", 80_000, "measured instructions per simulation")
-	warmup = flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
-)
-
-func run(cfg config.Config, bench string) *cpu.Result {
-	prof, err := workload.ByName(bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim, err := cpu.New(cfg.WithBudget(*insts, *warmup), prof.New(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sim.Run()
-}
 
 func main() {
-	flag.Parse()
+	budget := exutil.ParseBudget(80_000)
 	fmt.Println("Restricted SAC (Section 5.5): stores must compute addresses in the")
 	fmt.Println("HL-LSQ; a store with a pointer-derived (miss-dependent) address")
 	fmt.Println("stalls migration behind it.")
 	fmt.Println()
 	for _, bench := range []string{"swim", "mcf", "equake"} {
-		full := run(config.Default(), bench)
+		full := budget.MustRun(config.Default(), bench)
 		cfg := config.Default()
 		cfg.Disamb = config.DisambRSAC
-		rsac := run(cfg, bench)
+		rsac := budget.MustRun(cfg, bench)
 		fmt.Printf("  %-8s full %.3f  rsac %.3f  (%+.1f%%, %d stalls)\n",
 			bench, full.IPC, rsac.IPC, 100*(rsac.IPC/full.IPC-1),
 			rsac.Counters.Get("rsac_stall"))
@@ -55,10 +35,10 @@ func main() {
 	fmt.Println("migrated low-locality stores avoid the CP<->MP round trip.")
 	fmt.Println()
 	for _, bench := range []string{"gcc", "perlbmk", "mcf"} {
-		with := run(config.Default(), bench)
+		with := budget.MustRun(config.Default(), bench)
 		cfg := config.Default()
 		cfg.SQM = false
-		without := run(cfg, bench)
+		without := budget.MustRun(cfg, bench)
 		fmt.Printf("  %-8s with SQM %.3f  without %.3f  (SQM worth %+.1f%%; "+
 			"%d mirror searches vs %d round trips)\n",
 			bench, with.IPC, without.IPC, 100*(with.IPC/without.IPC-1),

@@ -6,47 +6,23 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
-	"repro/internal/oracle"
-	"repro/internal/workload"
+	"repro/internal/exutil"
 )
 
 func main() {
-	insts := flag.Uint64("insts", 100_000, "measured instructions per simulation")
-	warmup := flag.Uint64("warmup", config.Default().WarmupInsts, "functional warm-up instructions")
-	flag.Parse()
+	budget := exutil.ParseBudget(100_000)
 
 	// Pick a memory-level-parallel benchmark: the swim-like stream kernel.
-	prof, err := workload.ByName("swim")
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The conventional baseline: 64-entry ROB, finite CAM LSQ.
-	baseline := config.OoO64().WithBudget(*insts, *warmup)
-
-	// The paper's system: FMC large-window processor with the ELSQ
+	// The conventional baseline is a 64-entry ROB with a finite CAM LSQ;
+	// the paper's system is the FMC large-window processor with the ELSQ
 	// (hash-based ERT, Store Queue Mirror) — config.Default() is Table 1.
-	elsq := config.Default().WithBudget(*insts, *warmup)
-
-	for _, cfg := range []config.Config{baseline, elsq} {
-		sim, err := cpu.New(cfg, prof.New(1))
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, cfg := range []config.Config{config.OoO64(), config.Default()} {
 		// Certify the run against the sequential reference: every committed
 		// load must observe exactly the bytes program order requires.
-		check := oracle.New(0)
-		sim.SetCommitObserver(check)
-		r := sim.Run()
-		if err := check.Err(); err != nil {
-			log.Fatal(err)
-		}
+		r, check := budget.MustCertify(cfg, "swim")
 		fmt.Printf("%-14s IPC %.3f  (%d insts, %d cycles; %d loads oracle-certified)\n",
 			r.Config, r.IPC, r.Committed, r.Cycles, check.Loads())
 		if cfg.Model == config.ModelFMC {

@@ -21,7 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/oracle"
+	"repro/internal/simrun"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -97,13 +97,14 @@ func runGoldenPoint(t *testing.T, j sweep.Job) goldenResult {
 	// Every golden point runs under the differential oracle: the pinned
 	// results must also be memory-ordering correct, or the fixture would
 	// lock a latent bug in.
-	res, ck, err := oracle.Run(j.Config, j.Bench.Name, j.Seed)
+	out, err := simrun.Point{Config: j.Config, Bench: j.Bench.Name, Seed: j.Seed, Oracle: true}.Run(nil)
 	if err != nil {
 		t.Fatalf("%s/%s seed %d: %v", j.Config.Name(), j.Bench.Name, j.Seed, err)
 	}
-	if err := ck.Err(); err != nil {
+	if err := out.Oracle.Err(); err != nil {
 		t.Errorf("%s/%s seed %d: %v", j.Config.Name(), j.Bench.Name, j.Seed, err)
 	}
+	res := out.Result
 	return goldenResult{
 		Bench:     j.Bench.Name,
 		Seed:      j.Seed,

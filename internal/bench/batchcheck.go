@@ -1,0 +1,137 @@
+package bench
+
+// Batch verification for the regression harness: VerifyBatch proves (by
+// digest) that the lane-parallel batch engine produces bit-identical,
+// oracle-certified results for every lane, and measures its aggregate
+// throughput against the same points run sequentially scalar — the
+// "-batch" mode of cmd/elsqbench and the bench-smoke CI gate.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/simrun"
+	"repro/internal/workload"
+)
+
+// BatchCheck is the outcome of one point's scalar-vs-batched comparison.
+type BatchCheck struct {
+	// Name is the point's matrix name; Bench the benchmark the lanes ran.
+	Name  string `json:"name"`
+	Bench string `json:"bench"`
+	// Lanes is how many same-warm-up configurations ran (each lane varies
+	// MispredictPenalty so per-lane results are distinct).
+	Lanes int `json:"lanes"`
+	// Batched reports that every lane actually executed on the batch
+	// engine (a singleton group would fall back to scalar and prove
+	// nothing).
+	Batched bool `json:"batched"`
+	// ScalarDigest and BatchDigest are the results digests of the
+	// sequential scalar runs and the batched runs, in lane order; the
+	// harness requires them equal.
+	ScalarDigest string `json:"scalar_digest"`
+	BatchDigest  string `json:"batch_digest"`
+	// OracleViolations counts differential-oracle violations across every
+	// batched lane (each lane runs with a checker attached).
+	OracleViolations uint64 `json:"oracle_violations"`
+	// Insts is the aggregate simulated work of the scalar pass: each
+	// lane's warm-up plus measured budget.
+	Insts uint64 `json:"insts"`
+	// ScalarNS and BatchNS are the wall times of the two passes (the
+	// batched pass includes its shared warm-up build).
+	ScalarNS int64 `json:"scalar_ns"`
+	BatchNS  int64 `json:"batch_ns"`
+}
+
+// OK reports whether the batched pass reproduced the scalar results
+// bit-exactly, every lane really batched, and the oracle stayed clean.
+func (c BatchCheck) OK() bool {
+	return c.Batched && c.ScalarDigest == c.BatchDigest && c.OracleViolations == 0
+}
+
+// Speedup returns ScalarNS/BatchNS — the aggregate-throughput advantage of
+// running the lanes on the batch engine instead of sequentially.
+func (c BatchCheck) Speedup() float64 { return ratio(c.ScalarNS, c.BatchNS) }
+
+// VerifyBatch runs lanes warm-up-compatible variants of the point's
+// configuration — lane k gets MispredictPenalty+k, a timing-only axis, so
+// every lane produces a distinct result from one shared warm-up — over the
+// first benchmark of the point's suite, once sequentially scalar and once
+// through simrun.RunBatch, and compares the results digests lane by lane.
+// The two timed passes run bare so the speedup measures the engine, not the
+// checker; a third, untimed batched pass attaches the differential oracle
+// to every lane and must both certify clean and reproduce the same digest.
+func (p Point) VerifyBatch(lanes int) (BatchCheck, error) {
+	if lanes < 2 {
+		lanes = 2
+	}
+	prof := workload.SuiteOf(p.Suite)[0]
+	out := BatchCheck{Name: p.Name, Bench: prof.Name, Lanes: lanes}
+	points := make([]simrun.Point, lanes)
+	for k := range points {
+		pt := p.point(prof)
+		pt.Config.MispredictPenalty += k
+		points[k] = pt
+		out.Insts += pt.Config.WarmupInsts + pt.Config.MaxInsts
+	}
+
+	start := time.Now()
+	scalar := make([]*cpu.Result, lanes)
+	for k := range points {
+		res, err := points[k].Run(nil)
+		if err != nil {
+			return out, fmt.Errorf("bench %s: scalar lane %d: %w", p.Name, k, err)
+		}
+		scalar[k] = res.Result
+	}
+	out.ScalarNS = time.Since(start).Nanoseconds()
+	out.ScalarDigest = digestResults(scalar)
+
+	start = time.Now()
+	outs, err := simrun.RunBatch(nil, points)
+	if err != nil {
+		return out, fmt.Errorf("bench %s: batch: %w", p.Name, err)
+	}
+	out.BatchNS = time.Since(start).Nanoseconds()
+	batched := make([]*cpu.Result, lanes)
+	out.Batched = true
+	collect := func(outs []*simrun.Outcome, pass string) error {
+		for k, o := range outs {
+			if o.Err != nil {
+				return fmt.Errorf("bench %s: %s lane %d: %w", p.Name, pass, k, o.Err)
+			}
+			if !o.Batched {
+				out.Batched = false
+			}
+			if o.Oracle != nil {
+				out.OracleViolations += o.Oracle.ViolationCount()
+			}
+			batched[k] = o.Result
+		}
+		return nil
+	}
+	if err := collect(outs, "batch"); err != nil {
+		return out, err
+	}
+	out.BatchDigest = digestResults(batched)
+
+	for k := range points {
+		points[k].Oracle = true
+	}
+	certified, err := simrun.RunBatch(nil, points)
+	if err != nil {
+		return out, fmt.Errorf("bench %s: certified batch: %w", p.Name, err)
+	}
+	if err := collect(certified, "certified batch"); err != nil {
+		return out, err
+	}
+	// The observer must not perturb results: the certified pass has to
+	// reproduce the bare pass digest exactly, or the comparison above was
+	// measuring a different machine than the one the oracle certified.
+	if d := digestResults(batched); d != out.BatchDigest {
+		return out, fmt.Errorf("bench %s: oracle-attached batch digest %s != bare batch digest %s",
+			p.Name, d, out.BatchDigest)
+	}
+	return out, nil
+}

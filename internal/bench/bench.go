@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -195,15 +196,11 @@ func (p Point) Run(reps int) (PointResult, error) {
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for _, prof := range profs {
-			src, err := p.source(prof)
+			out, err := p.point(prof).Run(nil)
 			if err != nil {
 				return pr, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
 			}
-			sim, err := cpu.New(p.config(prof), src)
-			if err != nil {
-				return pr, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
-			}
-			results = append(results, sim.Run())
+			results = append(results, out.Result)
 		}
 		wall := time.Since(start).Nanoseconds()
 		runtime.ReadMemStats(&ms1)
@@ -241,10 +238,9 @@ func (p Point) config(prof workload.Profile) config.Config {
 	return cfg
 }
 
-// source returns the workload source one benchmark of the point runs from.
-func (p Point) source(prof workload.Profile) (workload.Source, error) {
-	cfg := p.config(prof)
-	return trace.SourceFor(&cfg, prof, 1)
+// point maps one benchmark of the point onto the simrun API.
+func (p Point) point(prof workload.Profile) simrun.Point {
+	return simrun.Point{Config: p.config(prof), Bench: prof.Name, Seed: 1}
 }
 
 func medianNS(ns []int64) int64 {

@@ -48,15 +48,11 @@ func (p Point) VerifyResume() (ResumeCheck, error) {
 	start := time.Now()
 	var full []*cpu.Result
 	for _, prof := range profs {
-		src, err := p.source(prof)
+		res, err := p.point(prof).Run(nil)
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
 		}
-		sim, err := cpu.New(p.config(prof), src)
-		if err != nil {
-			return out, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
-		}
-		full = append(full, sim.Run())
+		full = append(full, res.Result)
 	}
 	out.FullNS = time.Since(start).Nanoseconds()
 	out.FullDigest = digestResults(full)
@@ -69,11 +65,13 @@ func (p Point) VerifyResume() (ResumeCheck, error) {
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: build checkpoint: %w", p.Name, prof.Name, err)
 		}
-		sim, err := ckpt.Resume(cfg, snap, prof.Name, 1)
+		pt := p.point(prof)
+		pt.Snapshot = snap
+		res, err := pt.Run(nil)
 		if err != nil {
 			return out, fmt.Errorf("bench %s/%s: resume: %w", p.Name, prof.Name, err)
 		}
-		resumed = append(resumed, sim.Run())
+		resumed = append(resumed, res.Result)
 	}
 	out.ResumedNS = time.Since(start).Nanoseconds()
 	out.ResumedDigest = digestResults(resumed)
@@ -136,7 +134,10 @@ func CheckpointSpeedup(bench string, seed uint64, configs []config.Config) (Spee
 		jobs = append(jobs, sweep.Job{Config: cfg, Bench: prof, Seed: seed})
 	}
 
-	full := &sweep.Runner{Workers: 1}
+	// Batching is disabled in all three runners: a batch group shares its
+	// warm-up in-run regardless of the store, which would erase exactly the
+	// full-vs-shared contrast this measurement exists to expose.
+	full := &sweep.Runner{Workers: 1, Batch: -1}
 	start := time.Now()
 	fullOut, _, err := full.Run(jobs)
 	if err != nil {
@@ -145,7 +146,7 @@ func CheckpointSpeedup(bench string, seed uint64, configs []config.Config) (Spee
 	res.FullNS = time.Since(start).Nanoseconds()
 
 	store := ckpt.NewMemStore()
-	shared := &sweep.Runner{Workers: 1, Checkpoints: store}
+	shared := &sweep.Runner{Workers: 1, Checkpoints: store, Batch: -1}
 	start = time.Now()
 	coldOut, _, err := shared.Run(jobs)
 	if err != nil {

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/cpu"
 	"repro/internal/oracle"
 	"repro/internal/workload"
 )
@@ -33,17 +32,12 @@ func (r OracleReport) OK() bool { return r.Violations == 0 }
 func (p Point) Certify() (OracleReport, error) {
 	rep := OracleReport{Name: p.Name}
 	for _, prof := range workload.SuiteOf(p.Suite) {
-		src, err := p.source(prof)
-		if err != nil {
-			return rep, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
-		}
-		sim, err := cpu.New(p.config(prof), src)
-		if err != nil {
-			return rep, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
-		}
 		ck := oracle.New(1)
-		sim.SetCommitObserver(ck)
-		sim.Run()
+		pt := p.point(prof)
+		pt.Observer = ck
+		if _, err := pt.Run(nil); err != nil {
+			return rep, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
 		rep.Loads += ck.Loads()
 		rep.Stores += ck.Stores()
 		rep.CheckedBytes += ck.CheckedBytes()

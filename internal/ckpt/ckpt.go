@@ -32,7 +32,6 @@ import (
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -118,7 +117,8 @@ func (s *Snapshot) Check(cfg *config.Config, bench string, seed uint64) error {
 // NewSource returns a fresh live-generator source positioned at the
 // snapshot: a generator restored in O(state) rather than O(WarmupInsts).
 // It only serves snapshots built from live generation (those carry kernel
-// state); Resume routes trace-built snapshots to a trace replay instead.
+// state); internal/simrun routes trace-built snapshots to a trace replay
+// instead.
 func (s *Snapshot) NewSource() (*workload.Generator, error) {
 	prof, err := workload.ByName(s.Bench)
 	if err != nil {
@@ -129,43 +129,4 @@ func (s *Snapshot) NewSource() (*workload.Generator, error) {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	return g, nil
-}
-
-// Resume builds a simulator for cfg started from the snapshot instead of a
-// functional warm-up. Trace-driven configs resume onto a replay of their
-// trace; everything else resumes onto a restored live generator. Run on
-// the returned simulator produces results bit-identical to a fresh run's.
-func Resume(cfg config.Config, snap *Snapshot, bench string, seed uint64) (*cpu.Sim, error) {
-	if err := snap.Check(&cfg, bench, seed); err != nil {
-		return nil, err
-	}
-	var src workload.Source
-	if cfg.TracePath != "" {
-		prof, err := workload.ByName(bench)
-		if err != nil {
-			return nil, fmt.Errorf("ckpt: %w", err)
-		}
-		ts, err := trace.SourceFor(&cfg, prof, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := ts.Restore(snap.Source); err != nil {
-			return nil, fmt.Errorf("ckpt: %w", err)
-		}
-		src = ts
-	} else {
-		g, err := snap.NewSource()
-		if err != nil {
-			return nil, err
-		}
-		src = g
-	}
-	sim, err := cpu.New(cfg, src)
-	if err != nil {
-		return nil, err
-	}
-	if err := sim.RestoreWarmState(snap.Hier); err != nil {
-		return nil, err
-	}
-	return sim, nil
 }

@@ -1,4 +1,8 @@
-package ckpt
+// External tests for the checkpoint subsystem. They live outside the package
+// so they can drive full simulations through internal/simrun — the only
+// component allowed to construct simulators — while still reaching the store
+// internals through export_test.go.
+package ckpt_test
 
 import (
 	"os"
@@ -7,8 +11,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
@@ -29,6 +35,16 @@ func mustProfile(t *testing.T, name string) workload.Profile {
 		t.Fatal(err)
 	}
 	return p
+}
+
+// run simulates (cfg, bench, seed), resumed from snap when non-nil.
+func run(t *testing.T, cfg config.Config, bench string, seed uint64, snap *ckpt.Snapshot) *cpu.Result {
+	t.Helper()
+	out, err := simrun.Point{Config: cfg, Bench: bench, Seed: seed, Snapshot: snap}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Result
 }
 
 // resultsEqual compares every deterministic field of two results.
@@ -72,21 +88,13 @@ func TestResumeMatchesFreshRun(t *testing.T) {
 		t.Run(cfg.Name()+"/"+pt.bench, func(t *testing.T) {
 			prof := mustProfile(t, pt.bench)
 
-			fresh, err := cpu.New(cfg, prof.New(pt.seed))
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := fresh.Run()
+			want := run(t, cfg, pt.bench, pt.seed, nil)
 
-			snap, err := Build(&cfg, prof, pt.seed)
+			snap, err := ckpt.Build(&cfg, prof, pt.seed)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sim, err := Resume(cfg, snap, pt.bench, pt.seed)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := sim.Run()
+			got := run(t, cfg, pt.bench, pt.seed, snap)
 
 			if !resultsEqual(want, got) {
 				t.Errorf("resumed run diverged from fresh run:\n got: %+v\nwant: %+v", got, want)
@@ -99,7 +107,7 @@ func TestResumeMatchesFreshRun(t *testing.T) {
 // timing-only fields share, warm-up-relevant fields split.
 func TestKeySharing(t *testing.T) {
 	base := testConfig(nil)
-	k := Key(&base, "swim", 1)
+	k := ckpt.Key(&base, "swim", 1)
 
 	share := []func(*config.Config){
 		func(c *config.Config) { c.LSQ = config.LSQSVW },
@@ -114,7 +122,7 @@ func TestKeySharing(t *testing.T) {
 	}
 	for i, mut := range share {
 		cfg := testConfig(mut)
-		if Key(&cfg, "swim", 1) != k {
+		if ckpt.Key(&cfg, "swim", 1) != k {
 			t.Errorf("share case %d split the checkpoint key", i)
 		}
 	}
@@ -127,12 +135,12 @@ func TestKeySharing(t *testing.T) {
 	}
 	for i, mut := range split {
 		cfg := testConfig(mut)
-		if Key(&cfg, "swim", 1) == k {
+		if ckpt.Key(&cfg, "swim", 1) == k {
 			t.Errorf("split case %d shared the checkpoint key", i)
 		}
 	}
 
-	if Key(&base, "gcc", 1) == k || Key(&base, "swim", 2) == k {
+	if ckpt.Key(&base, "gcc", 1) == k || ckpt.Key(&base, "swim", 2) == k {
 		t.Error("benchmark or seed change shared the checkpoint key")
 	}
 }
@@ -140,12 +148,12 @@ func TestKeySharing(t *testing.T) {
 func TestDiskStoreRoundTrip(t *testing.T) {
 	cfg := testConfig(nil)
 	cfg.WarmupInsts = 20_000
-	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	snap, err := ckpt.Build(&cfg, mustProfile(t, "gzip"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	store, err := NewDiskStore(t.TempDir(), 0)
+	store, err := ckpt.NewDiskStore(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,21 +170,13 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	}
 
 	// A resumed run from the reloaded snapshot still matches fresh.
-	fresh, err := cpu.New(cfg, mustProfile(t, "gzip").New(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := fresh.Run()
-	sim, err := Resume(cfg, got, "gzip", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !resultsEqual(want, sim.Run()) {
+	want := run(t, cfg, "gzip", 1, nil)
+	if !resultsEqual(want, run(t, cfg, "gzip", 1, got)) {
 		t.Error("disk-loaded resume diverged from fresh run")
 	}
 
 	// Corrupt entries are misses.
-	if err := os.WriteFile(filepath.Join(store.Dir(), snap.Key+diskSuffix), []byte("{"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(store.Dir(), snap.Key+ckpt.DiskSuffixForTest), []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Get(snap.Key); ok {
@@ -187,16 +187,16 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 func TestDiskStoreSizeBudget(t *testing.T) {
 	cfg := testConfig(nil)
 	cfg.WarmupInsts = 5_000
-	var snaps []*Snapshot
+	var snaps []*ckpt.Snapshot
 	for _, bench := range []string{"gzip", "vpr", "gcc"} {
-		snap, err := Build(&cfg, mustProfile(t, bench), 1)
+		snap, err := ckpt.Build(&cfg, mustProfile(t, bench), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		snaps = append(snaps, snap)
 	}
 
-	store, err := NewDiskStore(t.TempDir(), 0)
+	store, err := ckpt.NewDiskStore(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestDiskStoreSizeBudget(t *testing.T) {
 	for i, snap := range snaps[1:] {
 		// Spread mtimes so "oldest" is well defined on coarse filesystems.
 		past := time.Now().Add(time.Duration(i-3) * time.Second)
-		os.Chtimes(filepath.Join(store.Dir(), snaps[i].Key+diskSuffix), past, past)
+		os.Chtimes(filepath.Join(store.Dir(), snaps[i].Key+ckpt.DiskSuffixForTest), past, past)
 		store.Put(snap)
 	}
 	if _, ok := store.Get(snaps[0].Key); ok {
@@ -231,21 +231,25 @@ func TestDiskStoreSizeBudget(t *testing.T) {
 func TestResumeRejectsMismatch(t *testing.T) {
 	cfg := testConfig(nil)
 	cfg.WarmupInsts = 5_000
-	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	snap, err := ckpt.Build(&cfg, mustProfile(t, "gzip"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Resume(cfg, snap, "vpr", 1); err == nil {
+	resume := func(cfg config.Config, bench string) error {
+		_, err := simrun.Point{Config: cfg, Bench: bench, Seed: 1, Snapshot: snap}.Run(nil)
+		return err
+	}
+	if err := resume(cfg, "vpr"); err == nil {
 		t.Error("resume accepted a snapshot of a different benchmark")
 	}
 	other := cfg
 	other.WarmupInsts = 6_000
-	if _, err := Resume(other, snap, "gzip", 1); err == nil {
+	if err := resume(other, "gzip"); err == nil {
 		t.Error("resume accepted a snapshot with a different warm-up budget")
 	}
 	geom := cfg
 	geom.L1.SizeBytes = 64 << 10
-	if _, err := Resume(geom, snap, "gzip", 1); err == nil {
+	if err := resume(geom, "gzip"); err == nil {
 		t.Error("resume accepted a snapshot of different cache geometry")
 	}
 }
@@ -268,7 +272,7 @@ func TestDiskStoreSweepsStaleTemps(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	store, err := NewDiskStore(dir, 0)
+	store, err := ckpt.NewDiskStore(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +288,7 @@ func TestDiskStoreSweepsStaleTemps(t *testing.T) {
 	}
 	cfg := testConfig(nil)
 	cfg.WarmupInsts = 5_000
-	snap, err := Build(&cfg, mustProfile(t, "gzip"), 1)
+	snap, err := ckpt.Build(&cfg, mustProfile(t, "gzip"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

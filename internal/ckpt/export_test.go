@@ -1,0 +1,6 @@
+package ckpt
+
+// DiskSuffixForTest exposes the on-disk snapshot filename suffix to the
+// external test package, which exercises corruption and eviction by touching
+// store files directly.
+const DiskSuffixForTest = diskSuffix

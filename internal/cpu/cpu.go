@@ -154,16 +154,25 @@ type Sim struct {
 
 // New builds a simulator for cfg running the given benchmark source.
 func New(cfg config.Config, gen workload.Source) (*Sim, error) {
+	return newSim(cfg, gen, nil)
+}
+
+// newSim is the shared constructor behind New and NewBatch: with a nil
+// arena every structure is allocated privately (the scalar path); with an
+// arena the hot arrays — calendar slots, ring times, cache lines, the
+// StoreIndex bucket table and its MemOp pool — are carved from the batch's
+// shared slabs.
+func newSim(cfg config.Config, gen workload.Source, ar *laneArena) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Sim{
 		cfg:       cfg,
 		gen:       gen,
-		hier:      mem.NewHierarchy(&cfg),
+		hier:      mem.NewHierarchyIn(&cfg, ar.lineArena()),
 		bus:       noc.NewBus(cfg.BusOneWay),
 		c:         stats.NewCounters(),
-		storeIx:   lsq.NewStoreIndex(),
+		storeIx:   ar.storeIndex(),
 		loadDist:  stats.NewHistogram(30, 50),
 		storeDist: stats.NewHistogram(30, 50),
 	}
@@ -214,34 +223,62 @@ func New(cfg config.Config, gen workload.Source) (*Sim, error) {
 	// (the no-unresolved-store filter input).
 	s.storeIx.TuneLateSlack(cfg.FetchWidth)
 
-	s.fetchCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
-	s.cpIssueCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
-	s.portsCal = sched.NewCalendar(cfg.CachePorts, calHorizon)
-	s.llPortsCal = sched.NewCalendar(cfg.CachePorts, calHorizon)
-	s.commitCal = sched.NewCalendar(cfg.CommitWidth, calHorizon)
-	s.migCal = sched.NewCalendar(cfg.FetchWidth, calHorizon)
+	s.fetchCal = ar.calendar(cfg.FetchWidth)
+	s.cpIssueCal = ar.calendar(cfg.FetchWidth)
+	s.portsCal = ar.calendar(cfg.CachePorts)
+	s.llPortsCal = ar.calendar(cfg.CachePorts)
+	s.commitCal = ar.calendar(cfg.CommitWidth)
+	s.migCal = ar.calendar(cfg.FetchWidth)
 
-	s.robRing = sched.NewRing(cfg.ROBSize)
-	s.intIQ = sched.NewRing(cfg.IntIQ)
-	s.fpIQ = sched.NewRing(cfg.FpIQ)
+	caps := ringCapsFor(&cfg)
+	s.robRing = ar.ring(caps[ringROB])
+	s.intIQ = ar.ring(caps[ringIntIQ])
+	s.fpIQ = ar.ring(caps[ringFpIQ])
+	s.windowRing = ar.ring(caps[ringWindow])
 	if cfg.Model == config.ModelFMC {
-		s.windowRing = sched.NewRing(cfg.WindowSize())
 		s.epochs = fmc.NewEpochs(&cfg)
 		s.wrongPathCap = 3 * cfg.ROBSize
 	} else {
-		s.windowRing = sched.NewRing(0)
 		s.wrongPathCap = cfg.ROBSize
 	}
 	// High-locality queue occupancy: entries live from dispatch to
 	// migration (FMC) or completion/commit. The central queue is unlimited.
-	if cfg.LSQ == config.LSQCentral {
-		s.lqRing = sched.NewRing(0)
-		s.sqRing = sched.NewRing(0)
-	} else {
-		s.lqRing = sched.NewRing(cfg.HLLQSize)
-		s.sqRing = sched.NewRing(cfg.HLSQSize)
-	}
+	s.lqRing = ar.ring(caps[ringLQ])
+	s.sqRing = ar.ring(caps[ringSQ])
 	return s, nil
+}
+
+// Ring indices into ringCapsFor's capacity vector.
+const (
+	ringROB = iota
+	ringIntIQ
+	ringFpIQ
+	ringWindow
+	ringLQ
+	ringSQ
+	numRings
+)
+
+// numCalendars is how many resource calendars newSim builds per lane.
+const numCalendars = 6
+
+// ringCapsFor returns every occupancy ring's capacity under cfg, in
+// construction order (non-positive = unlimited, no backing storage). It is
+// the single source of truth newSim and the batch slab sizing share.
+func ringCapsFor(cfg *config.Config) [numRings]int {
+	caps := [numRings]int{
+		ringROB:   cfg.ROBSize,
+		ringIntIQ: cfg.IntIQ,
+		ringFpIQ:  cfg.FpIQ,
+	}
+	if cfg.Model == config.ModelFMC {
+		caps[ringWindow] = cfg.WindowSize()
+	}
+	if cfg.LSQ != config.LSQCentral {
+		caps[ringLQ] = cfg.HLLQSize
+		caps[ringSQ] = cfg.HLSQSize
+	}
+	return caps
 }
 
 // SetCommitObserver attaches obs to the committed memory-operation stream.
@@ -329,80 +366,26 @@ func (s *Sim) warm(n uint64, access func(addr uint64), done <-chan struct{}) boo
 	return !canceled(done)
 }
 
-// run is the shared body of Run and RunContext. It reports ok=false (and a
-// nil result) if done fired before the measured phase completed.
+// run is the shared body of Run and RunContext, expressed over the same
+// incremental Lane the batch engine drives — scalar and batched execution
+// share one stepping implementation, which is what makes their bit-identity
+// structural rather than merely tested. It reports ok=false (and a nil
+// result) if done fired before the measured phase completed.
 func (s *Sim) run(done <-chan struct{}) (res *Result, ok bool) {
-	var in isa.Inst
-	warmAccess := func(addr uint64) { s.hier.Access(addr) }
-	if !s.warmed {
-		if !s.warm(s.cfg.WarmupInsts, warmAccess, done) {
+	l := s.NewLane()
+	if !l.Warm(done) {
+		return nil, false
+	}
+	for {
+		more, ok := l.Step(cancelChunk, done)
+		if !ok {
 			return nil, false
 		}
-	}
-	intervals, bleed := s.cfg.Intervals()
-	per := s.cfg.MaxInsts / uint64(intervals)
-	target := s.cfg.MaxInsts - per*uint64(intervals-1) // first interval absorbs the remainder
-	for k := 0; ; k++ {
-		for s.committed < target {
-			limit := target
-			if done != nil && s.committed+cancelChunk < limit {
-				limit = s.committed + cancelChunk
-			}
-			for s.committed < limit {
-				s.gen.Next(&in)
-				s.step(&in)
-			}
-			if canceled(done) {
-				return nil, false
-			}
-		}
-		if k == intervals-1 {
+		if !more {
 			break
 		}
-		if !s.warm(bleed, warmAccess, done) {
-			return nil, false
-		}
-		target += per
 	}
-	if s.epochs != nil {
-		if rel := s.epochs.CloseAll(); rel.OK {
-			s.scheme.EpochCommitted(int(rel.V), rel.At)
-		}
-	}
-	cycles := s.lastCommit
-	if cycles <= 0 {
-		cycles = 1
-	}
-	if s.llBusyUntil < cycles {
-		s.llIdle += cycles - s.llBusyUntil
-	}
-	res = &Result{
-		Bench:     s.gen.Name(),
-		Suite:     s.gen.Suite(),
-		Config:    s.cfg.Name(),
-		Committed: s.committed,
-		Cycles:    cycles,
-		IPC:       float64(s.committed) / float64(cycles),
-		Counters:  s.c,
-		LoadDist:  s.loadDist,
-		StoreDist: s.storeDist,
-	}
-	res.Counters.Merge(s.scheme.Counters())
-	if s.svwEng != nil {
-		res.Counters.Merge(s.svwEng.Counters())
-		res.Counters.Add("ssbf", s.svwEng.SSBFAccesses())
-	}
-	res.Counters.Add("noc_hops", s.mesh.Hops)
-	if s.cfg.Model == config.ModelFMC {
-		res.LLIdleFrac = float64(s.llIdle) / float64(cycles)
-		// Mean allocated epochs over the cycles the MP is active (the
-		// paper's "when the Memory Processor is active, not necessarily
-		// all epoch queues are allocated" statistic).
-		if busy := cycles - s.llIdle; busy > 0 {
-			res.AvgEpochs = float64(s.epochs.ActiveCycleSum) / float64(busy)
-		}
-	}
-	return res, true
+	return l.Finish(), true
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// Lane drives one simulation incrementally: the same warm-up, sampled
+// measurement intervals and finalization that Run performs in one call,
+// decomposed into resumable pieces so a batch driver can interleave many
+// lanes' progress. The sequence of workload-source and pipeline operations a
+// Lane performs is exactly Run's — interleaving changes only which lane the
+// host CPU works on, never what any lane simulates — so a Lane's Result is
+// bit-identical to Run's on the same Sim.
+//
+// Lifecycle: NewLane, Warm once, Step until it reports no more work, then
+// Finish exactly once.
+type Lane struct {
+	s *Sim
+
+	// in is the lane-resident instruction scratch Step decodes into (Run's
+	// stack local, lifted so it survives across Step calls).
+	in isa.Inst
+
+	warmAccess func(addr uint64)
+
+	// Sampling plan (config.Intervals): measurement is split into intervals
+	// of per instructions (the first absorbs the remainder, so target starts
+	// at MaxInsts - per*(intervals-1)) separated by bleed functional
+	// instructions.
+	intervals  int
+	bleed, per uint64
+	target     uint64
+	k          int
+	warmedUp   bool
+	finished   bool
+}
+
+// NewLane wraps s for incremental driving. The Sim must not have been run.
+func (s *Sim) NewLane() *Lane {
+	l := &Lane{
+		s:          s,
+		warmAccess: func(addr uint64) { s.hier.Access(addr) },
+	}
+	intervals, bleed := s.cfg.Intervals()
+	l.intervals = intervals
+	l.bleed = bleed
+	l.per = s.cfg.MaxInsts / uint64(intervals)
+	l.target = s.cfg.MaxInsts - l.per*uint64(intervals-1) // first interval absorbs the remainder
+	return l
+}
+
+// Warm performs the functional warm-up phase (a no-op when the Sim was
+// checkpoint-restored). It reports false if done fired first.
+func (l *Lane) Warm(done <-chan struct{}) bool {
+	if l.warmedUp {
+		return true
+	}
+	l.warmedUp = true
+	if l.s.warmed {
+		return true
+	}
+	return l.s.warm(l.s.cfg.WarmupInsts, l.warmAccess, done)
+}
+
+// Step advances the measured phase by up to n committed instructions,
+// running inter-interval functional bleeds as they come due. It returns
+// more=false once the full measurement budget has committed (call Finish),
+// and ok=false if done fired first (the lane is then unusable).
+func (l *Lane) Step(n uint64, done <-chan struct{}) (more, ok bool) {
+	s := l.s
+	for n > 0 && !l.finished {
+		if s.committed >= l.target {
+			if l.k == l.intervals-1 {
+				l.finished = true
+				break
+			}
+			if !s.warm(l.bleed, l.warmAccess, done) {
+				return false, false
+			}
+			l.k++
+			l.target += l.per
+			continue
+		}
+		limit := l.target
+		if s.committed+n < limit {
+			limit = s.committed + n
+		}
+		n -= limit - s.committed
+		for s.committed < limit {
+			s.gen.Next(&l.in)
+			s.step(&l.in)
+		}
+		if canceled(done) {
+			return false, false
+		}
+	}
+	if !l.finished && s.committed >= l.target && l.k == l.intervals-1 {
+		l.finished = true
+	}
+	return !l.finished, true
+}
+
+// Finish closes out the run and assembles the Result. It must be called
+// exactly once, after Step has reported no more work.
+func (l *Lane) Finish() *Result {
+	if !l.finished {
+		panic("cpu: Lane.Finish before the measurement budget completed")
+	}
+	s := l.s
+	if s.epochs != nil {
+		if rel := s.epochs.CloseAll(); rel.OK {
+			s.scheme.EpochCommitted(int(rel.V), rel.At)
+		}
+	}
+	cycles := s.lastCommit
+	if cycles <= 0 {
+		cycles = 1
+	}
+	if s.llBusyUntil < cycles {
+		s.llIdle += cycles - s.llBusyUntil
+	}
+	res := &Result{
+		Bench:     s.gen.Name(),
+		Suite:     s.gen.Suite(),
+		Config:    s.cfg.Name(),
+		Committed: s.committed,
+		Cycles:    cycles,
+		IPC:       float64(s.committed) / float64(cycles),
+		Counters:  s.c,
+		LoadDist:  s.loadDist,
+		StoreDist: s.storeDist,
+	}
+	res.Counters.Merge(s.scheme.Counters())
+	if s.svwEng != nil {
+		res.Counters.Merge(s.svwEng.Counters())
+		res.Counters.Add("ssbf", s.svwEng.SSBFAccesses())
+	}
+	res.Counters.Add("noc_hops", s.mesh.Hops)
+	if s.cfg.Model == config.ModelFMC {
+		res.LLIdleFrac = float64(s.llIdle) / float64(cycles)
+		// Mean allocated epochs over the cycles the MP is active (the
+		// paper's "when the Memory Processor is active, not necessarily
+		// all epoch queues are allocated" statistic).
+		if busy := cycles - s.llIdle; busy > 0 {
+			res.AvgEpochs = float64(s.epochs.ActiveCycleSum) / float64(busy)
+		}
+	}
+	return res
+}

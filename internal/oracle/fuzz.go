@@ -124,10 +124,3 @@ func mustSet(cfg *config.Config, name, value string) {
 		panic(err)
 	}
 }
-
-// CheckPoint runs one fuzz point under the oracle and returns the checker
-// (never nil on a nil error).
-func CheckPoint(p FuzzPoint) (*Checker, error) {
-	_, ck, err := Run(p.Config, p.Bench, p.Seed)
-	return ck, err
-}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/oracle"
+	"repro/internal/simrun"
 )
 
 // FuzzSim is the native fuzz target behind cmd/elsqfuzz: a 64-bit seed
@@ -21,14 +22,14 @@ func FuzzSim(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		p := oracle.RandomPoint(seed)
-		ck, err := oracle.CheckPoint(p)
+		out, err := simrun.Point{Config: p.Config, Bench: p.Bench, Seed: p.Seed, Oracle: true}.Run(nil)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Label(), err)
 		}
-		if cerr := ck.Err(); cerr != nil {
+		if cerr := out.Oracle.Err(); cerr != nil {
 			t.Errorf("%s: %v", p.Label(), cerr)
 		}
-		if ck.Loads() == 0 {
+		if out.Oracle.Loads() == 0 {
 			t.Errorf("%s: certified no loads", p.Label())
 		}
 	})

@@ -14,7 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/filter"
-	"repro/internal/oracle"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -58,17 +58,17 @@ func schemeConfigs() map[string]config.Config {
 // any violation. It returns the result for invariant checks.
 func certify(t *testing.T, label string, cfg config.Config, bench string, seed uint64) *cpu.Result {
 	t.Helper()
-	res, ck, err := oracle.Run(cfg, bench, seed)
+	out, err := simrun.Point{Config: cfg, Bench: bench, Seed: seed, Oracle: true}.Run(nil)
 	if err != nil {
 		t.Fatalf("%s/%s: %v", label, bench, err)
 	}
-	if cerr := ck.Err(); cerr != nil {
+	if cerr := out.Oracle.Err(); cerr != nil {
 		t.Errorf("%s/%s: %v", label, bench, cerr)
 	}
-	if ck.Loads() == 0 {
+	if out.Oracle.Loads() == 0 {
 		t.Errorf("%s/%s: oracle certified no loads — the hook is not wired", label, bench)
 	}
-	return res
+	return out.Result
 }
 
 // TestOracleCleanAllSchemesBothSuites is the live-mode acceptance sweep:
@@ -145,17 +145,14 @@ func TestOracleCleanAcrossModes(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				sim, err := ckpt.Resume(ckCfg, snap, bench, 1)
+				out, err := simrun.Point{Config: ckCfg, Bench: bench, Seed: 1, Snapshot: snap, Oracle: true}.Run(nil)
 				if err != nil {
 					t.Fatal(err)
 				}
-				checker := oracle.New(0)
-				sim.SetCommitObserver(checker)
-				sim.Run()
-				if cerr := checker.Err(); cerr != nil {
+				if cerr := out.Oracle.Err(); cerr != nil {
 					t.Errorf("%s/ckpt-resume/%s: %v", label, bench, cerr)
 				}
-				if checker.Loads() == 0 {
+				if out.Oracle.Loads() == 0 {
 					t.Errorf("%s/ckpt-resume/%s: oracle certified no loads", label, bench)
 				}
 

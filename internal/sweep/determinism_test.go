@@ -139,13 +139,33 @@ func TestCheckpointedRunMatchesFull(t *testing.T) {
 		}
 	}
 
-	full := &Runner{Workers: 4}
+	full := &Runner{Workers: 4, Batch: -1}
 	wantOut, wantStats, err := full.Run(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wantStats.CheckpointsBuilt != 0 || wantStats.CheckpointResumes != 0 {
-		t.Fatalf("runner without a store reported checkpoint activity: %+v", wantStats)
+		t.Fatalf("scalar runner without a store reported checkpoint activity: %+v", wantStats)
+	}
+
+	// A store-less runner with default batching still shares each group's
+	// warm-up in-run: one build per (benchmark, seed), every job resumed,
+	// results bit-identical to the scalar sweep.
+	batched := &Runner{Workers: 4}
+	batchOut, batchStats, err := batched.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchStats.CheckpointsBuilt != 2 {
+		t.Errorf("store-less batched run built %d checkpoints, want 2 (one per benchmark)", batchStats.CheckpointsBuilt)
+	}
+	if batchStats.CheckpointResumes != len(jobs) {
+		t.Errorf("store-less batched run resumed %d jobs, want %d", batchStats.CheckpointResumes, len(jobs))
+	}
+	for i := range wantOut {
+		if wantOut[i].Key != batchOut[i].Key || !reflect.DeepEqual(wantOut[i].Result, batchOut[i].Result) {
+			t.Errorf("job %d: batched outcome diverged from scalar run", i)
+		}
 	}
 
 	ckptd := &Runner{Workers: 4, Checkpoints: ckpt.NewMemStore()}

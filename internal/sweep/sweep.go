@@ -28,7 +28,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
-	"repro/internal/trace"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
@@ -96,8 +96,8 @@ type Stats struct {
 	Ran int `json:"ran"`
 	// CheckpointsBuilt counts warm-up checkpoints built this run;
 	// CheckpointResumes counts simulated jobs that skipped their functional
-	// warm-up by resuming from a shared checkpoint (both zero unless the
-	// Runner has a checkpoint store).
+	// warm-up by resuming from a shared checkpoint (via the Runner's store
+	// or a batched group's in-run warm-up sharing).
 	CheckpointsBuilt  int `json:"checkpoints_built,omitempty"`
 	CheckpointResumes int `json:"checkpoint_resumes,omitempty"`
 }
@@ -130,13 +130,19 @@ type Runner struct {
 	Workers int
 	// Cache, if non-nil, is consulted before simulating and updated after.
 	Cache Cache
-	// Checkpoints, if non-nil, enables warm-up sharing: jobs whose
+	// Checkpoints, if non-nil, persists warm-up sharing: jobs whose
 	// warm-up-relevant identity matches (ckpt.Key — same cache geometry,
 	// warm-up budget, benchmark and seed; almost every paper sweep) share
-	// one warm-state snapshot, built once per run (or loaded from the
-	// store) and resumed per job. Results are bit-identical to full
-	// warm-up runs; only wall-clock changes.
+	// one warm-state snapshot through the store across runs and processes.
+	// Batched groups share their warm-up within a run even without a
+	// store. Results are bit-identical to full warm-up runs; only
+	// wall-clock changes.
 	Checkpoints ckpt.Store
+	// Batch caps how many warm-up-compatible jobs run as lanes of one
+	// batch on the lane-parallel engine (simrun.RunBatch): 0 means the
+	// default cap, anything below 2 disables batching (every job runs
+	// scalar).
+	Batch int
 	// OnProgress, if non-nil, is called after each unique job resolves.
 	// Calls are serialised; the callback must not call back into the
 	// Runner.
@@ -150,6 +156,21 @@ func (r *Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// defaultBatch is the lane-group cap when Runner.Batch is zero: large
+// enough that slab sharing and warm-up amortisation pay off, small enough
+// that group granularity still feeds every worker of a typical pool.
+const defaultBatch = 8
+
+func (r *Runner) batchCap() int {
+	if r.Batch == 0 {
+		return defaultBatch
+	}
+	if r.Batch < 2 {
+		return 1
+	}
+	return r.Batch
+}
+
 // slot is the execution state of one unique simulation identity.
 type slot struct {
 	job     Job
@@ -158,36 +179,17 @@ type slot struct {
 	hit     bool
 	err     error
 	indices []int // positions in the submitted job slice
-	warm    *warmEntry
 }
 
-// warmEntry is one shared warm-up checkpoint: the first worker that needs
-// it builds (or loads) the snapshot under the once; every later job of the
-// group resumes from it.
-type warmEntry struct {
-	key  string
-	once sync.Once
-	snap *ckpt.Snapshot
-	err  error
-}
-
-// resolve loads or builds the entry's snapshot exactly once. built reports
-// whether this call did the warm-up work.
-func (w *warmEntry) resolve(store ckpt.Store, j Job) (built bool) {
-	w.once.Do(func() {
-		if snap, ok := store.Get(w.key); ok {
-			if snap.Check(&j.Config, j.Bench.Name, j.Seed) == nil {
-				w.snap = snap
-				return
-			}
-		}
-		w.snap, w.err = ckpt.Build(&j.Config, j.Bench, j.Seed)
-		if w.err == nil {
-			built = true
-			store.Put(w.snap)
-		}
-	})
-	return built
+// point maps a job onto the simrun API, threading the runner's checkpoint
+// store through.
+func (r *Runner) point(j Job) simrun.Point {
+	return simrun.Point{
+		Config: j.Config,
+		Bench:  j.Bench.Name,
+		Seed:   j.Seed,
+		Ckpt:   r.Checkpoints,
+	}
 }
 
 // Run executes the jobs and returns one outcome per job, in submission
@@ -258,26 +260,15 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Outcome, Stats, 
 	}
 	stats.Ran = len(pending)
 
-	// Group pending jobs by warm-up identity so each distinct warm-up runs
-	// once. Zero-warm-up jobs gain nothing from a checkpoint and skip it.
-	if r.Checkpoints != nil {
-		warm := make(map[string]*warmEntry)
-		for _, s := range pending {
-			if s.job.Config.WarmupInsts == 0 {
-				continue
-			}
-			wk := ckpt.Key(&s.job.Config, s.job.Bench.Name, s.job.Seed)
-			e, ok := warm[wk]
-			if !ok {
-				e = &warmEntry{key: wk}
-				warm[wk] = e
-			}
-			s.warm = e
-		}
-	}
+	// Shape the pending slots into lane groups: warm-up-compatible jobs
+	// run together on the batch engine, sharing one warm-up and adjacent
+	// slab state; everything else (and every group once the cap or the
+	// batching knob says so) runs scalar. Groups of one go through the
+	// scalar path inside runGroup.
+	groups := r.groupSlots(pending)
 	var built, resumed atomic.Int64
 
-	// Bounded pool: workers pull the next pending slot from a shared
+	// Bounded pool: workers pull the next pending group from a shared
 	// cursor, so an idle worker steals whatever work remains.
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -290,15 +281,16 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Outcome, Stats, 
 					return
 				}
 				n := cursor.Add(1) - 1
-				if n >= int64(len(pending)) {
+				if n >= int64(len(groups)) {
 					return
 				}
-				s := pending[n]
-				s.res, s.err = r.runSlot(ctx, s, &built, &resumed)
-				if s.err == nil && r.Cache != nil {
-					r.Cache.Put(s.key, s.res)
+				r.runGroup(ctx, groups[n], &built, &resumed)
+				for _, s := range groups[n] {
+					if s.err == nil && r.Cache != nil {
+						r.Cache.Put(s.key, s.res)
+					}
+					report(s)
 				}
-				report(s)
 			}
 		}()
 	}
@@ -321,36 +313,87 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Outcome, Stats, 
 	return out, stats, firstErr
 }
 
-// runSlot simulates one pending slot, resuming from the slot's shared
-// warm-up checkpoint when one is available. A checkpoint problem is never
-// fatal — the job falls back to a full warm-up, which is merely slower.
-func (r *Runner) runSlot(ctx context.Context, s *slot, built, resumed *atomic.Int64) (*cpu.Result, error) {
-	if s.warm != nil {
-		if s.warm.resolve(r.Checkpoints, s.job) {
-			built.Add(1)
+// groupSlots partitions pending slots into execution groups: slots whose
+// simrun batch key matches (same benchmark, seed and warm-up-relevant
+// config slice) are grouped up to the batch cap; a slot whose key cannot
+// be computed gets a singleton group so its error surfaces from the scalar
+// path. With batching disabled every slot is its own group.
+func (r *Runner) groupSlots(pending []*slot) [][]*slot {
+	cap := r.batchCap()
+	if cap <= 1 {
+		groups := make([][]*slot, len(pending))
+		for i, s := range pending {
+			groups[i] = []*slot{s}
 		}
-		if s.warm.err == nil {
-			sim, err := ckpt.Resume(s.job.Config, s.warm.snap, s.job.Bench.Name, s.job.Seed)
-			if err == nil {
-				resumed.Add(1)
-				return sim.RunContext(ctx)
-			}
-		}
+		return groups
 	}
-	return runJob(ctx, s.job)
+	byWarm := make(map[string][]*slot)
+	var order []string
+	var groups [][]*slot
+	for _, s := range pending {
+		bk, err := r.point(s.job).BatchKey()
+		if err != nil {
+			groups = append(groups, []*slot{s})
+			continue
+		}
+		if _, ok := byWarm[bk]; !ok {
+			order = append(order, bk)
+		}
+		byWarm[bk] = append(byWarm[bk], s)
+	}
+	for _, bk := range order {
+		g := byWarm[bk]
+		for len(g) > cap {
+			groups = append(groups, g[:cap])
+			g = g[cap:]
+		}
+		groups = append(groups, g)
+	}
+	return groups
 }
 
-// runJob simulates one job with a full functional warm-up, driven by the
-// live generator or — for trace-driven configs — a replay of the job's
-// recorded trace.
-func runJob(ctx context.Context, j Job) (*cpu.Result, error) {
-	src, err := trace.SourceFor(&j.Config, j.Bench, j.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
+// runGroup executes one group — scalar for a singleton, lanes of a batch
+// otherwise — and writes each slot's result, error and checkpoint stats.
+func (r *Runner) runGroup(ctx context.Context, g []*slot, built, resumed *atomic.Int64) {
+	if len(g) == 1 {
+		s := g[0]
+		out, err := r.point(s.job).Run(ctx)
+		if err != nil {
+			s.err = fmt.Errorf("%s/%s: %w", s.job.Config.Name(), s.job.Bench.Name, err)
+			return
+		}
+		s.res = out.Result
+		r.countOutcome(out, built, resumed)
+		return
 	}
-	sim, err := cpu.New(j.Config, src)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", j.Config.Name(), j.Bench.Name, err)
+	points := make([]simrun.Point, len(g))
+	for i, s := range g {
+		points[i] = r.point(s.job)
 	}
-	return sim.RunContext(ctx)
+	outs, err := simrun.RunBatch(ctx, points)
+	if err != nil {
+		for _, s := range g {
+			s.err = err
+		}
+		return
+	}
+	for i, s := range g {
+		out := outs[i]
+		if out.Err != nil {
+			s.err = fmt.Errorf("%s/%s: %w", s.job.Config.Name(), s.job.Bench.Name, out.Err)
+			continue
+		}
+		s.res = out.Result
+		r.countOutcome(out, built, resumed)
+	}
+}
+
+// countOutcome folds one outcome's warm-up bookkeeping into the run stats.
+func (r *Runner) countOutcome(out *simrun.Outcome, built, resumed *atomic.Int64) {
+	if out.CkptBuilt {
+		built.Add(1)
+	}
+	if out.Resumed {
+		resumed.Add(1)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -78,33 +79,22 @@ func assertSameResult(t *testing.T, label string, got, want *cpu.Result) {
 // runLive simulates (cfg, bench, seed) from the live generator.
 func runLive(t *testing.T, cfg config.Config, bench string, seed uint64) *cpu.Result {
 	t.Helper()
-	prof, err := workload.ByName(bench)
+	cfg.TracePath, cfg.TraceDigest = "", ""
+	out, err := simrun.Point{Config: cfg, Bench: bench, Seed: seed}.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := cpu.New(cfg, prof.New(seed))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return sim.Run()
+	return out.Result
 }
 
 // runTraced simulates (cfg, bench, seed) from cfg.TracePath.
 func runTraced(t *testing.T, cfg config.Config, bench string, seed uint64) *cpu.Result {
 	t.Helper()
-	prof, err := workload.ByName(bench)
+	out, err := simrun.Point{Config: cfg, Bench: bench, Seed: seed}.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := trace.SourceFor(&cfg, prof, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim, err := cpu.New(cfg, src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return sim.Run()
+	return out.Result
 }
 
 // TestSimulationFromTraceMatchesLive is the tentpole's correctness bar: for
@@ -171,11 +161,14 @@ func TestCkptResumeFromTrace(t *testing.T) {
 			if snap.Source.Kernel != nil {
 				t.Error("trace-built snapshot carries generator kernel state")
 			}
-			sim, err := ckpt.Resume(cfg, snap, bench, 1)
+			out, err := simrun.Point{Config: cfg, Bench: bench, Seed: 1, Snapshot: snap}.Run(nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameResult(t, bench, sim.Run(), runTraced(t, cfg, bench, 1))
+			if !out.Resumed {
+				t.Error("run with an explicit snapshot not reported as resumed")
+			}
+			assertSameResult(t, bench, out.Result, runTraced(t, cfg, bench, 1))
 
 			// The warm-up identity must separate trace-driven from live runs:
 			// this snapshot would be wrong for a live-generator resume.

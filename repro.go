@@ -25,6 +25,7 @@ package repro
 import (
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/simrun"
 	"repro/internal/workload"
 )
 
@@ -32,15 +33,11 @@ import (
 // result (IPC, Table 2 component access counters, Figure 1 locality
 // histograms, Figure 11 activity statistics).
 func Simulate(cfg config.Config, bench string, seed uint64) (*cpu.Result, error) {
-	prof, err := workload.ByName(bench)
+	out, err := simrun.Point{Config: cfg, Bench: bench, Seed: seed}.Run(nil)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := cpu.New(cfg, prof.New(seed))
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(), nil
+	return out.Result, nil
 }
 
 // Benchmarks lists the available benchmark names, integer suite first.
