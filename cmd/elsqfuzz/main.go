@@ -40,6 +40,11 @@ import (
 	"repro/internal/workload"
 )
 
+// fuzzChunk is how many consecutive fuzz seeds a worker claims per batch:
+// large enough that same-warm-key points can meet in one RunBatch call,
+// small enough that work stays evenly spread across workers.
+const fuzzChunk = 8
+
 // checkPoint runs one fuzz point with the differential oracle attached and
 // returns the checker (never nil on a nil error).
 func checkPoint(p oracle.FuzzPoint) (*oracle.Checker, error) {
@@ -78,7 +83,7 @@ func main() {
 	}
 
 	var (
-		next     = *seed - 1 // atomic; each worker claims next+1
+		next     = *seed - 1 // atomic; each worker claims the next chunk
 		ran      uint64
 		loads    uint64
 		failures uint64
@@ -91,37 +96,64 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for {
-				s := atomic.AddUint64(&next, 1)
-				if *duration > 0 {
-					if time.Now().After(deadline) {
-						return
-					}
-				} else if s >= *seed+uint64(*points) {
+				// Claim fuzzChunk consecutive seeds and run them as one
+				// RunBatch call: points that land on the same warm-up key
+				// (same benchmark, workload seed and warm-geometry draws)
+				// share a lane group and one functional warm-up.
+				s0 := atomic.AddUint64(&next, fuzzChunk) - fuzzChunk + 1
+				if *duration > 0 && time.Now().After(deadline) {
 					return
 				}
-				p := oracle.RandomPoint(s)
-				ck, err := checkPoint(p)
+				var seeds []uint64
+				for s := s0; s < s0+fuzzChunk; s++ {
+					if *duration == 0 && s >= *seed+uint64(*points) {
+						break
+					}
+					seeds = append(seeds, s)
+				}
+				if len(seeds) == 0 {
+					return
+				}
+				fps := make([]oracle.FuzzPoint, len(seeds))
+				pts := make([]simrun.Point, len(seeds))
+				for i, s := range seeds {
+					fps[i] = oracle.RandomPoint(s)
+					pts[i] = simrun.Point{Config: fps[i].Config, Bench: fps[i].Bench, Seed: fps[i].Seed, Oracle: true}
+				}
+				outs, err := simrun.RunBatch(nil, pts)
 				if err != nil {
 					mu.Lock()
-					fmt.Fprintf(os.Stderr, "seed %d: %s: %v\n", s, p.Label(), err)
+					fmt.Fprintf(os.Stderr, "seeds %d-%d: %v\n", seeds[0], seeds[len(seeds)-1], err)
 					mu.Unlock()
-					atomic.AddUint64(&failures, 1)
+					atomic.AddUint64(&failures, uint64(len(seeds)))
 					continue
 				}
-				atomic.AddUint64(&ran, 1)
-				atomic.AddUint64(&loads, ck.Loads())
-				if cerr := ck.Err(); cerr != nil {
-					atomic.AddUint64(&failures, 1)
-					mu.Lock()
-					fmt.Fprintf(os.Stderr, "VIOLATION seed %d: %s\n  %v\n", s, p.Label(), cerr)
-					mu.Unlock()
-					// Minimisation re-simulates many times; keep it outside
-					// the output lock so other workers stay independent.
-					runOne(s, *out, false)
-				} else if *verbose {
-					mu.Lock()
-					fmt.Printf("seed %d ok: %s (%d loads)\n", s, p.Label(), ck.Loads())
-					mu.Unlock()
+				for i, o := range outs {
+					s, p := seeds[i], fps[i]
+					if o.Err != nil {
+						mu.Lock()
+						fmt.Fprintf(os.Stderr, "seed %d: %s: %v\n", s, p.Label(), o.Err)
+						mu.Unlock()
+						atomic.AddUint64(&failures, 1)
+						continue
+					}
+					ck := o.Oracle
+					atomic.AddUint64(&ran, 1)
+					atomic.AddUint64(&loads, ck.Loads())
+					if cerr := ck.Err(); cerr != nil {
+						atomic.AddUint64(&failures, 1)
+						mu.Lock()
+						fmt.Fprintf(os.Stderr, "VIOLATION seed %d: %s\n  %v\n", s, p.Label(), cerr)
+						mu.Unlock()
+						// Minimisation re-simulates many times; keep it
+						// outside the output lock so other workers stay
+						// independent.
+						runOne(s, *out, false)
+					} else if *verbose {
+						mu.Lock()
+						fmt.Printf("seed %d ok: %s (%d loads)\n", s, p.Label(), ck.Loads())
+						mu.Unlock()
+					}
 				}
 			}
 		}()

@@ -84,11 +84,23 @@ func schemes() []scheme {
 	central.LSQ = config.LSQCentral
 	svw := config.Default()
 	svw.LSQ = config.LSQSVW
+	// Contended-fabric rows track the occupancy model's cost relative to
+	// the analytic rows above. They are new matrix points: absent from
+	// older baselines (Compare iterates the baseline's points, so adding
+	// them cannot fail an existing gate) and picked up on the next
+	// baseline regeneration.
+	contended := config.Default()
+	contended.NoC = config.NoCContended
+	contendedSteal := config.Default()
+	contendedSteal.NoC = config.NoCContended
+	contendedSteal.Place = config.PlaceSteal
 	return []scheme{
 		{"elsq", config.Default()},
 		{"ooo64", config.OoO64()},
 		{"central", central},
 		{"svw", svw},
+		{"elsq-noc", contended},
+		{"elsq-noc-steal", contendedSteal},
 	}
 }
 

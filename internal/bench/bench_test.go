@@ -16,11 +16,11 @@ import (
 func TestMatrixShape(t *testing.T) {
 	smoke := Matrix(true)
 	full := Matrix(false)
-	if len(smoke) != 8 {
-		t.Fatalf("smoke matrix has %d points, want 8", len(smoke))
+	if len(smoke) != 12 {
+		t.Fatalf("smoke matrix has %d points, want 12", len(smoke))
 	}
-	if len(full) != 12 {
-		t.Fatalf("full matrix has %d points, want 12", len(full))
+	if len(full) != 16 {
+		t.Fatalf("full matrix has %d points, want 16", len(full))
 	}
 	seen := map[string]bool{}
 	for _, p := range full {

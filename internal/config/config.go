@@ -115,6 +115,61 @@ func (d Disambiguation) String() string {
 	}
 }
 
+// NoCModel selects the interconnect timing model for the CP<->MP bus and
+// the memory-engine mesh (noc.Fabric implementations).
+type NoCModel uint8
+
+const (
+	// NoCAnalytic is the contention-free fixed-latency model: Manhattan
+	// hops at MeshHop cycles each and a fixed BusOneWay bus. The default,
+	// and the model every legacy result was produced under.
+	NoCAnalytic NoCModel = iota
+	// NoCContended books CP<->MP bus slots and per-link mesh hops on
+	// occupancy calendars (X-Y routing, NoCLinkWidth messages per link per
+	// cycle), so concurrent traffic queues instead of passing through free.
+	NoCContended
+)
+
+// String implements fmt.Stringer.
+func (m NoCModel) String() string {
+	if m == NoCAnalytic {
+		return "analytic"
+	}
+	return "contended"
+}
+
+// PlacePolicy selects how virtual epochs are placed onto physical banks
+// (memory engines) in the FMC.
+type PlacePolicy uint8
+
+const (
+	// PlaceModN is the paper's interleaving: virtual epoch v occupies bank
+	// v mod NumEpochs. The default.
+	PlaceModN PlacePolicy = iota
+	// PlaceLeastLoaded places each epoch on the bank that frees earliest,
+	// breaking ties toward the bank nearest (in fabric hops) to the
+	// previously opened epoch's bank.
+	PlaceLeastLoaded
+	// PlaceSteal keeps the mod-N home bank when it is free and otherwise
+	// steals the free bank nearest to the previous epoch's bank, paying
+	// the epoch-state migration bandwidth for the move.
+	PlaceSteal
+)
+
+// String implements fmt.Stringer.
+func (p PlacePolicy) String() string {
+	switch p {
+	case PlaceModN:
+		return "modn"
+	case PlaceLeastLoaded:
+		return "leastloaded"
+	case PlaceSteal:
+		return "steal"
+	default:
+		return fmt.Sprintf("place(%d)", uint8(p))
+	}
+}
+
 // SVWVariant selects how SVW decides whether a forwarded load must
 // re-execute (Section 5.6).
 type SVWVariant uint8
@@ -197,6 +252,19 @@ type Config struct {
 	BusOneWay int
 	// MeshHop is the per-hop latency between memory engines in cycles.
 	MeshHop int
+
+	// NoC selects the interconnect timing model (analytic by default).
+	// The zero value encodes to nothing in the canonical form, so every
+	// legacy sweep/checkpoint/golden key is unchanged.
+	NoC NoCModel `json:",omitempty"`
+	// NoCLinkWidth is the number of messages each mesh link (and each bus
+	// direction) accepts per cycle under the contended model. 0 and 1 both
+	// mean one message per cycle and encode identically; the field is
+	// ignored (and normalised away) under the analytic model.
+	NoCLinkWidth int `json:",omitempty"`
+	// Place selects the epoch->bank placement policy (FMC only; mod-N by
+	// default, encoded only when non-default).
+	Place PlacePolicy `json:",omitempty"`
 
 	// ERT selects the global-disambiguation filter (ELSQ only).
 	ERT ERTKind
@@ -370,6 +438,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: CachePorts must be positive, got %d", c.CachePorts)
 	case c.Model == ModelFMC && c.NumEpochs <= 0:
 		return fmt.Errorf("config: FMC needs NumEpochs > 0, got %d", c.NumEpochs)
+	case c.Model == ModelFMC && c.NumEpochs > 128:
+		return fmt.Errorf("config: FMC supports at most 128 epochs (the ERT epoch-mask width), got %d", c.NumEpochs)
 	case c.Model == ModelFMC && c.EpochMaxInsts <= 0:
 		return fmt.Errorf("config: FMC needs EpochMaxInsts > 0, got %d", c.EpochMaxInsts)
 	case c.L1.SizeBytes <= 0 || c.L1.Ways <= 0 || c.L1.LineBytes <= 0:
@@ -384,6 +454,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: ERTHashBits %d out of range [1,24]", c.ERTHashBits)
 	case c.LSQ == LSQSVW && (c.SSBFBits < 1 || c.SSBFBits > 24):
 		return fmt.Errorf("config: SSBFBits %d out of range [1,24]", c.SSBFBits)
+	case c.NoCLinkWidth < 0 || c.NoCLinkWidth > 255:
+		return fmt.Errorf("config: NoCLinkWidth %d out of range [0,255]", c.NoCLinkWidth)
 	case c.MaxInsts == 0:
 		return fmt.Errorf("config: MaxInsts must be positive")
 	case c.SampleIntervals < 0:

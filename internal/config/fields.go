@@ -127,6 +127,31 @@ func fieldRegistry() []FieldSpec {
 		intField("bus.oneway", "CP<->MP one-way bus latency (cycles)", func(c *Config) *int { return &c.BusOneWay }),
 		intField("mesh.hop", "per-hop mesh latency (cycles)", func(c *Config) *int { return &c.MeshHop }),
 		{
+			Name: "noc.model", Doc: "interconnect timing model: analytic | contended",
+			Set: func(c *Config, v string) error {
+				m, err := ParseNoCModel(v)
+				if err != nil {
+					return err
+				}
+				c.NoC = m
+				return nil
+			},
+			Get: func(c *Config) string { return c.NoC.String() },
+		},
+		intField("noc.linkwidth", "contended-fabric messages per link per cycle (0/1 = one)", func(c *Config) *int { return &c.NoCLinkWidth }),
+		{
+			Name: "place.policy", Doc: "epoch->bank placement: modn | leastloaded | steal",
+			Set: func(c *Config, v string) error {
+				p, err := ParsePlacePolicy(v)
+				if err != nil {
+					return err
+				}
+				c.Place = p
+				return nil
+			},
+			Get: func(c *Config) string { return c.Place.String() },
+		},
+		{
 			Name: "ert", Doc: "ELSQ global-disambiguation filter: line | hash",
 			Set: func(c *Config, v string) error {
 				k, err := ParseERTKind(v)

@@ -27,6 +27,11 @@ func (c *Config) Canonical() []byte {
 	if cc.TraceDigest != "" {
 		cc.TracePath = ""
 	}
+	// Link width is dead under the analytic fabric, and 0 and 1 both mean
+	// one message per cycle under the contended one.
+	if cc.NoC == NoCAnalytic || cc.NoCLinkWidth == 1 {
+		cc.NoCLinkWidth = 0
+	}
 	b, err := json.Marshal(&cc)
 	if err != nil {
 		// Config is a flat struct of ints, bools and text-marshalling

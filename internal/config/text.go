@@ -74,6 +74,30 @@ func ParseSVWVariant(s string) (SVWVariant, error) {
 	return 0, fmt.Errorf("config: unknown SVW variant %q (want blind | checkstores)", s)
 }
 
+// ParseNoCModel parses an interconnect timing-model name.
+func ParseNoCModel(s string) (NoCModel, error) {
+	switch strings.ToLower(s) {
+	case "analytic", "free":
+		return NoCAnalytic, nil
+	case "contended":
+		return NoCContended, nil
+	}
+	return 0, fmt.Errorf("config: unknown NoC model %q (want analytic | contended)", s)
+}
+
+// ParsePlacePolicy parses an epoch-placement policy name.
+func ParsePlacePolicy(s string) (PlacePolicy, error) {
+	switch strings.ToLower(s) {
+	case "modn", "mod-n":
+		return PlaceModN, nil
+	case "leastloaded", "least-loaded":
+		return PlaceLeastLoaded, nil
+	case "steal":
+		return PlaceSteal, nil
+	}
+	return 0, fmt.Errorf("config: unknown placement policy %q (want modn | leastloaded | steal)", s)
+}
+
 // MarshalText implements encoding.TextMarshaler.
 func (m Model) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
 
@@ -136,6 +160,32 @@ func (v *SVWVariant) UnmarshalText(b []byte) error {
 		return err
 	}
 	*v = x
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m NoCModel) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *NoCModel) UnmarshalText(b []byte) error {
+	v, err := ParseNoCModel(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p PlacePolicy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *PlacePolicy) UnmarshalText(b []byte) error {
+	v, err := ParsePlacePolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/filter"
+	"repro/internal/fmc"
 	"repro/internal/lsq"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -41,10 +42,14 @@ const ertLockStallCycles = 40
 
 // ELSQ is the Epoch-based Load/Store Queue.
 type ELSQ struct {
-	cfg  *config.Config
-	bus  *noc.Bus
-	mesh *noc.Mesh
-	l1   *mem.Cache
+	cfg *config.Config
+	// fab carries every network trip the two-level search pays: CP<->MP
+	// bus round trips and engine-to-engine mesh routes.
+	fab noc.Fabric
+	// banks resolves virtual epoch ids to the physical bank hosting them
+	// (the live fmc.Epochs under pluggable placement, mod-N otherwise).
+	banks fmc.BankMap
+	l1    *mem.Cache
 
 	// ert holds the two bit-vector tables (loads and stores); entries are
 	// hash buckets or L1 line slots depending on cfg.ERT.
@@ -108,8 +113,12 @@ type Option func(*ELSQ)
 func WithoutLoadQueue() Option { return func(e *ELSQ) { e.noLQ = true } }
 
 // New builds the ELSQ for the given configuration over the FMC interconnect
-// and (for the line-based ERT) the L1 cache.
-func New(cfg *config.Config, bus *noc.Bus, mesh *noc.Mesh, l1 *mem.Cache, opts ...Option) *ELSQ {
+// fabric, (for the line-based ERT) the L1 cache, and the virtual-epoch bank
+// mapping (nil = mod-N over NumEpochs banks).
+func New(cfg *config.Config, fab noc.Fabric, l1 *mem.Cache, banks fmc.BankMap, opts ...Option) *ELSQ {
+	if banks == nil {
+		banks = fmc.HomeBanks(cfg.NumEpochs)
+	}
 	var table *filter.EpochBitTable
 	if cfg.ERT == config.ERTLine {
 		table = filter.NewEpochBitTable(l1.NumSlots(), cfg.NumEpochs)
@@ -118,8 +127,8 @@ func New(cfg *config.Config, bus *noc.Bus, mesh *noc.Mesh, l1 *mem.Cache, opts .
 	}
 	e := &ELSQ{
 		cfg:           cfg,
-		bus:           bus,
-		mesh:          mesh,
+		fab:           fab,
+		banks:         banks,
 		l1:            l1,
 		ert:           table,
 		activeVirtual: make([]int64, cfg.NumEpochs),
@@ -158,7 +167,7 @@ func (e *ELSQ) Name() string { return e.cfg.Name() }
 func (e *ELSQ) Counters() *stats.Counters { return e.c }
 
 // physical returns the bank holding virtual epoch v.
-func (e *ELSQ) physical(v int64) int { return int(v % int64(e.cfg.NumEpochs)) }
+func (e *ELSQ) physical(v int64) int { return e.banks.Bank(v) }
 
 // ertIndex maps an address to its ERT index. For the line-based ERT the
 // line must be resident in the L1; ok=false means no ERT state can exist
@@ -417,7 +426,7 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 	// program order contiguously, so the first match in the youngest-first
 	// walk is the youngest LL match.
 	*e.cERT++
-	var mask uint32
+	var mask filter.EpochMask
 	if idx, present := e.ertIndex(ld.Addr); present {
 		mask = e.ert.StoreMask(idx)
 	}
@@ -432,7 +441,7 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 				extra = 1
 				*e.cSQMSearch++
 			} else {
-				extra = int64(e.bus.RoundTrip())
+				extra = e.fab.BusRoundTrip(t) - t
 				*e.cRoundtrip++
 			}
 		}
@@ -444,7 +453,8 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 			*e.cLLSQ++
 			extra++ // sequential epoch search
 			if ld.Epoch != lsq.HLEpoch && prev >= 0 {
-				extra += int64(e.mesh.Traverse(prev, e.physical(v)))
+				now := t + extra
+				extra += e.fab.Route(prev, e.physical(v), now) - now
 			}
 			prev = e.physical(v)
 			if m := e.epochMatch(v); m != nil {
@@ -470,7 +480,8 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 		if ld.Epoch != lsq.HLEpoch {
 			*e.cHLSQ++
 			*e.cRoundtrip++
-			extra += int64(e.bus.RoundTrip())
+			now := t + extra
+			extra += e.fab.BusRoundTrip(now) - now
 		}
 		res := lsq.Resolve(ld, hlMatch, t+extra)
 		res.ExtraLatency = extra
@@ -492,7 +503,7 @@ func (e *ELSQ) LoadIssue(ld *lsq.MemOp, ix *lsq.StoreIndex, t int64) lsq.LoadRes
 // exactly when that holds: it records an in-flight store of the bank's
 // time-t occupant. The returned slice is scratch storage owned by the
 // ELSQ, valid until the next call.
-func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
+func (e *ELSQ) candidateEpochs(mask filter.EpochMask, ld *lsq.MemOp, t int64) []int64 {
 	out := e.candEpochs[:0]
 	for phys := 0; phys < e.cfg.NumEpochs; phys++ {
 		v := e.activeVirtual[phys]
@@ -504,7 +515,7 @@ func (e *ELSQ) candidateEpochs(mask uint32, ld *lsq.MemOp, t int64) []int64 {
 			// discarded, not displaced.
 			v = e.matchV[phys]
 		} else {
-			if mask&(1<<uint(phys)) == 0 && !e.bypassed[phys] {
+			if !mask.Has(phys) && !e.bypassed[phys] {
 				continue
 			}
 			if v < 0 || !e.liveAt(phys, t) {
@@ -569,17 +580,21 @@ func (e *ELSQ) StoreAddrReady(st *lsq.MemOp, younger []*lsq.MemOp, t int64) lsq.
 	idx, present := e.ertIndex(st.Addr)
 	if present {
 		mask := e.ert.LoadMask(idx)
-		for m := mask; m != 0; m &= m - 1 {
-			phys := bits.TrailingZeros32(m)
-			v := e.activeVirtual[phys]
-			if v < 0 || v <= int64(st.Epoch) || !e.liveAt(phys, t) {
-				continue // only live younger epochs can hold violating loads
+		for w, word := range [2]uint64{mask.Lo, mask.Hi} {
+			for m := word; m != 0; m &= m - 1 {
+				phys := w*64 + bits.TrailingZeros64(m)
+				v := e.activeVirtual[phys]
+				if v < 0 || v <= int64(st.Epoch) || !e.liveAt(phys, t) {
+					continue // only live younger epochs can hold violating loads
+				}
+				*e.cLLLQ++
 			}
-			*e.cLLLQ++
 		}
 	}
 	// The HL-LQ holds the youngest loads; an LL store must check it (one
-	// network trip from the memory engine to the CP).
+	// network trip from the memory engine to the CP). The trip is counted
+	// but deliberately not booked on the fabric: it overlaps the store's
+	// own completion and delays nothing the timing model observes.
 	*e.cHLLQ++
 	*e.cRoundtrip++
 	if ld := lsq.FindViolation(st, e.scratchRemote, t); ld != nil {

@@ -25,9 +25,8 @@ func newRig(t *testing.T, mut func(*config.Config)) *rig {
 		mut(&cfg)
 	}
 	l1 := mem.NewCache(cfg.L1)
-	bus := noc.NewBus(cfg.BusOneWay)
-	mesh := noc.NewMesh(4, 4, cfg.MeshHop)
-	return &rig{e: New(&cfg, bus, mesh, l1), l1: l1, cfg: cfg}
+	fab := noc.NewAnalytic(noc.NewBus(cfg.BusOneWay), noc.NewMesh(4, 4, cfg.MeshHop))
+	return &rig{e: New(&cfg, fab, l1, nil), l1: l1, cfg: cfg}
 }
 
 func mkStore(seq uint64, addr uint64, addrReady, dataReady int64) *lsq.MemOp {
@@ -332,7 +331,7 @@ func TestStoreAddrReadyCountsHL(t *testing.T) {
 func TestWithoutLoadQueue(t *testing.T) {
 	cfg := config.Default()
 	l1 := mem.NewCache(cfg.L1)
-	e := New(&cfg, noc.NewBus(4), noc.NewMesh(4, 4, 1), l1, WithoutLoadQueue())
+	e := New(&cfg, noc.NewAnalytic(noc.NewBus(4), noc.NewMesh(4, 4, 1)), l1, nil, WithoutLoadQueue())
 	st := mkStore(5, 0x100, 60, 60)
 	res := e.StoreAddrReady(st, []*lsq.MemOp{{Seq: 7, Addr: 0x100, Size: 8, Issued: 30}}, 60)
 	if res.Violation {

@@ -55,13 +55,13 @@ func (a *laneArena) takeOps(n int) []lsq.MemOp {
 	return s
 }
 
-// calendar builds one resource calendar, carving its slot ring from the
-// shared slab when batched.
-func (a *laneArena) calendar(width int) *sched.Calendar {
+// calendar builds one resource calendar at the given horizon, carving its
+// slot ring from the shared slab when batched.
+func (a *laneArena) calendar(width, horizon int) *sched.Calendar {
 	if a == nil {
-		return sched.NewCalendar(width, calHorizon)
+		return sched.NewCalendar(width, horizon)
 	}
-	return sched.NewCalendarIn(width, calHorizon, a.takeU64(sched.CalendarSlots(calHorizon)))
+	return sched.NewCalendarIn(width, horizon, a.takeU64(sched.CalendarSlots(horizon)))
 }
 
 // ring builds one occupancy ring (non-positive capacity = unlimited, which
@@ -113,7 +113,7 @@ func NewBatch(cfgs []config.Config, gens []workload.Source) ([]*Sim, error) {
 	}
 	var nu64, ni64, nptr, nops, nlines int
 	for i := range cfgs {
-		nu64 += numCalendars * sched.CalendarSlots(calHorizon)
+		nu64 += (numCalendars + fabricCalendars(&cfgs[i])) * sched.CalendarSlots(calHorizonFor(&cfgs[i]))
 		for _, c := range ringCapsFor(&cfgs[i]) {
 			if c > 0 {
 				ni64 += c

@@ -37,6 +37,39 @@ import (
 // calHorizon bounds the spread of reservation times within one calendar.
 const calHorizon = 1 << 14
 
+// calHorizonFor returns the calendar horizon for cfg: the default, widened
+// until it comfortably covers the in-flight window for large epoch counts
+// (the engine-scaling sweeps). The horizon only arms the calendar's
+// anti-aliasing guard — it never changes where a reservation lands — so
+// widening is result-neutral; at the default geometry it returns calHorizon
+// and slab layouts are unchanged.
+func calHorizonFor(cfg *config.Config) int {
+	h := calHorizon
+	for h < 4*cfg.WindowSize() {
+		h <<= 1
+	}
+	return h
+}
+
+// meshDims returns the memory-engine mesh geometry for an engine count: the
+// paper's 4x4 for the default 16 engines, a single row otherwise.
+func meshDims(numEpochs int) (w, h int) {
+	if numEpochs == 16 {
+		return 4, 4
+	}
+	return numEpochs, 1
+}
+
+// fabricCalendars returns how many arena-carved reservation calendars the
+// lane's interconnect fabric needs (0 for the analytic model).
+func fabricCalendars(cfg *config.Config) int {
+	if cfg.NoC != config.NoCContended {
+		return 0
+	}
+	w, h := meshDims(cfg.NumEpochs)
+	return noc.ContendedCalendars(w, h)
+}
+
 // Result carries everything an experiment reads out of one simulation.
 type Result struct {
 	// Bench and Config identify the run.
@@ -60,6 +93,13 @@ type Result struct {
 	LLIdleFrac float64
 	// AvgEpochs is the mean number of allocated epochs over time.
 	AvgEpochs float64
+	// BankActiveCycles is the measured per-bank (memory-engine) busy-cycle
+	// residency under the placement policy, and BankPowerDownFrac the mean
+	// fraction of the run each bank could power down — the per-engine view
+	// behind Figure 11. FMC only; both post-date the bench baseline and
+	// are excluded from its digest (digestResults hashes a fixed list).
+	BankActiveCycles  []int64
+	BankPowerDownFrac float64
 }
 
 // CommitObserver receives the committed-path memory-operation stream in
@@ -87,8 +127,7 @@ type Sim struct {
 	gen    workload.Source
 	scheme lsq.Scheme
 	hier   *mem.Hierarchy
-	bus    *noc.Bus
-	mesh   *noc.Mesh
+	fab    noc.Fabric
 	svwEng *svw.Engine
 	epochs *fmc.Epochs
 
@@ -170,7 +209,6 @@ func newSim(cfg config.Config, gen workload.Source, ar *laneArena) (*Sim, error)
 		cfg:       cfg,
 		gen:       gen,
 		hier:      mem.NewHierarchyIn(&cfg, ar.lineArena()),
-		bus:       noc.NewBus(cfg.BusOneWay),
 		c:         stats.NewCounters(),
 		storeIx:   ar.storeIndex(),
 		loadDist:  stats.NewHistogram(30, 50),
@@ -190,27 +228,45 @@ func newSim(cfg config.Config, gen workload.Source, ar *laneArena) (*Sim, error)
 	s.cLoadLevel[mem.LevelL1] = s.c.Handle("load_L1")
 	s.cLoadLevel[mem.LevelL2] = s.c.Handle("load_L2")
 	s.cLoadLevel[mem.LevelMem] = s.c.Handle("load_mem")
-	// 4x4 mesh for the default 16 engines; other counts use a single row.
-	w, h := cfg.NumEpochs, 1
-	if cfg.NumEpochs == 16 {
-		w, h = 4, 4
+	// Interconnect fabric: analytic (bit-identical to the legacy bus+mesh
+	// model) or contended, whose link calendars are carved from the batch
+	// arena like the pipeline calendars below.
+	w, h := meshDims(cfg.NumEpochs)
+	hor := calHorizonFor(&cfg)
+	if cfg.NoC == config.NoCContended {
+		s.fab = noc.NewContended(w, h, cfg.MeshHop, cfg.BusOneWay, cfg.NoCLinkWidth,
+			func(width int) *sched.Calendar { return ar.calendar(width, hor) })
+	} else {
+		s.fab = noc.NewAnalytic(noc.NewBus(cfg.BusOneWay), noc.NewMesh(w, h, cfg.MeshHop))
 	}
-	s.mesh = noc.NewMesh(w, h, cfg.MeshHop)
+
+	// The epoch manager must exist before the scheme: the ELSQ resolves
+	// virtual epochs to banks through the manager's placement record.
+	if cfg.Model == config.ModelFMC {
+		s.epochs = fmc.NewEpochs(&cfg, fmc.PlacerFor(&cfg, s.fab), s.fab, hor)
+		s.wrongPathCap = 3 * cfg.ROBSize
+	} else {
+		s.wrongPathCap = cfg.ROBSize
+	}
+	var banks fmc.BankMap = fmc.HomeBanks(cfg.NumEpochs)
+	if s.epochs != nil {
+		banks = s.epochs
+	}
 
 	switch {
 	case cfg.LSQ == config.LSQCentral:
-		s.scheme = lsq.NewCentral(s.bus)
+		s.scheme = lsq.NewCentral(s.fab)
 	case cfg.LSQ == config.LSQConventional:
 		s.scheme = lsq.NewConventional(false)
 	case cfg.LSQ == config.LSQSVW && cfg.Model == config.ModelOoO:
 		s.scheme = lsq.NewConventional(true)
 		s.svwEng = svw.New(cfg.SSBFBits, cfg.SVW)
 	case cfg.LSQ == config.LSQSVW:
-		s.scheme = core.New(&cfg, s.bus, s.mesh, s.hier.L1, core.WithoutLoadQueue())
+		s.scheme = core.New(&cfg, s.fab, s.hier.L1, banks, core.WithoutLoadQueue())
 		s.svwEng = svw.New(cfg.SSBFBits, cfg.SVW)
 		s.storesMigrate = true
 	case cfg.LSQ == config.LSQELSQ:
-		s.scheme = core.New(&cfg, s.bus, s.mesh, s.hier.L1)
+		s.scheme = core.New(&cfg, s.fab, s.hier.L1, banks)
 		s.storesMigrate = true
 	default:
 		return nil, fmt.Errorf("cpu: unsupported scheme %v on %v", cfg.LSQ, cfg.Model)
@@ -223,24 +279,18 @@ func newSim(cfg config.Config, gen workload.Source, ar *laneArena) (*Sim, error)
 	// (the no-unresolved-store filter input).
 	s.storeIx.TuneLateSlack(cfg.FetchWidth)
 
-	s.fetchCal = ar.calendar(cfg.FetchWidth)
-	s.cpIssueCal = ar.calendar(cfg.FetchWidth)
-	s.portsCal = ar.calendar(cfg.CachePorts)
-	s.llPortsCal = ar.calendar(cfg.CachePorts)
-	s.commitCal = ar.calendar(cfg.CommitWidth)
-	s.migCal = ar.calendar(cfg.FetchWidth)
+	s.fetchCal = ar.calendar(cfg.FetchWidth, hor)
+	s.cpIssueCal = ar.calendar(cfg.FetchWidth, hor)
+	s.portsCal = ar.calendar(cfg.CachePorts, hor)
+	s.llPortsCal = ar.calendar(cfg.CachePorts, hor)
+	s.commitCal = ar.calendar(cfg.CommitWidth, hor)
+	s.migCal = ar.calendar(cfg.FetchWidth, hor)
 
 	caps := ringCapsFor(&cfg)
 	s.robRing = ar.ring(caps[ringROB])
 	s.intIQ = ar.ring(caps[ringIntIQ])
 	s.fpIQ = ar.ring(caps[ringFpIQ])
 	s.windowRing = ar.ring(caps[ringWindow])
-	if cfg.Model == config.ModelFMC {
-		s.epochs = fmc.NewEpochs(&cfg)
-		s.wrongPathCap = 3 * cfg.ROBSize
-	} else {
-		s.wrongPathCap = cfg.ROBSize
-	}
 	// High-locality queue occupancy: entries live from dispatch to
 	// migration (FMC) or completion/commit. The central queue is unlimited.
 	s.lqRing = ar.ring(caps[ringLQ])
@@ -259,7 +309,8 @@ const (
 	numRings
 )
 
-// numCalendars is how many resource calendars newSim builds per lane.
+// numCalendars is how many pipeline resource calendars newSim builds per
+// lane; a contended fabric adds fabricCalendars(cfg) more on top.
 const numCalendars = 6
 
 // ringCapsFor returns every occupancy ring's capacity under cfg, in
@@ -474,7 +525,7 @@ func (s *Sim) step(in *isa.Inst) {
 	epochV := int64(-1)
 	var migT int64
 	if s.cfg.Model == config.ModelFMC && (migrates || (llExec && !isMem)) {
-		mt := dispatch + int64(s.cfg.BusOneWay)
+		mt := s.fab.BusOneWay(dispatch)
 		mt = max64(mt, s.lastMigrate)
 		if isMem {
 			mt = max64(mt, s.migBlockMem)
@@ -690,7 +741,7 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 	// Post-issue migration: a high-locality load that misses all the way to
 	// memory moves to the LL-LSQ to wait for its data (Section 3.2).
 	if s.cfg.Model == config.ModelFMC && !llExec && level == mem.LevelMem && epochV < 0 {
-		mt := max64(issue+int64(s.cfg.BusOneWay), s.lastMigrate)
+		mt := max64(s.fab.BusOneWay(issue), s.lastMigrate)
 		mt = max64(mt, s.migBlockMem)
 		v, enterAt, rel := s.epochs.Assign(false, true, false, op.Seq, mt)
 		if rel.OK {

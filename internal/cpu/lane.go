@@ -3,6 +3,8 @@ package cpu
 import (
 	"repro/internal/config"
 	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/stats"
 )
 
 // Lane drives one simulation incrementally: the same warm-up, sampled
@@ -34,6 +36,11 @@ type Lane struct {
 	k          int
 	warmedUp   bool
 	finished   bool
+
+	// fabAtMeasure is the fabric's traffic snapshot at measurement start;
+	// Finish subtracts it so reported interconnect counters cover exactly
+	// the measured region, never warm-up traffic.
+	fabAtMeasure noc.Traffic
 }
 
 // NewLane wraps s for incremental driving. The Sim must not have been run.
@@ -57,10 +64,14 @@ func (l *Lane) Warm(done <-chan struct{}) bool {
 		return true
 	}
 	l.warmedUp = true
-	if l.s.warmed {
-		return true
+	if !l.s.warmed && !l.s.warm(l.s.cfg.WarmupInsts, l.warmAccess, done) {
+		return false
 	}
-	return l.s.warm(l.s.cfg.WarmupInsts, l.warmAccess, done)
+	// Measurement starts here: snapshot the fabric so Finish reports only
+	// the measured region's traffic (the warm-up is purely functional
+	// today, but the subtraction keeps that true by construction).
+	l.fabAtMeasure = l.s.fab.Traffic()
+	return true
 }
 
 // Step advances the measured phase by up to n committed instructions,
@@ -136,8 +147,16 @@ func (l *Lane) Finish() *Result {
 		res.Counters.Merge(s.svwEng.Counters())
 		res.Counters.Add("ssbf", s.svwEng.SSBFAccesses())
 	}
-	res.Counters.Add("noc_hops", s.mesh.Hops)
+	fs := s.fab.Traffic().Sub(l.fabAtMeasure)
+	res.Counters.Add("noc_hops", fs.Hops)
+	// Counters that post-date the golden fixture are added only when
+	// non-zero, so default-config runs keep their exact counter set (Add
+	// makes a counter visible even at zero).
+	addNZ(res.Counters, "noc_link_wait", fs.LinkWaitCycles)
+	addNZ(res.Counters, "noc_bus_wait", fs.BusWaitCycles)
+	addNZ(res.Counters, "noc_migrate_flits", fs.MigrateFlits)
 	if s.cfg.Model == config.ModelFMC {
+		addNZ(res.Counters, "place_steals", s.epochs.Steals)
 		res.LLIdleFrac = float64(s.llIdle) / float64(cycles)
 		// Mean allocated epochs over the cycles the MP is active (the
 		// paper's "when the Memory Processor is active, not necessarily
@@ -145,6 +164,22 @@ func (l *Lane) Finish() *Result {
 		if busy := cycles - s.llIdle; busy > 0 {
 			res.AvgEpochs = float64(s.epochs.ActiveCycleSum) / float64(busy)
 		}
+		// Per-bank residency for the Figure 11 power-down claim.
+		ba := s.epochs.BankActive()
+		res.BankActiveCycles = append([]int64(nil), ba...)
+		var idle float64
+		for _, a := range ba {
+			idle += 1 - float64(a)/float64(cycles)
+		}
+		res.BankPowerDownFrac = idle / float64(len(ba))
 	}
 	return res
+}
+
+// addNZ adds a counter only when the value is non-zero, keeping counters
+// that post-date the golden fixture out of runs that never exercise them.
+func addNZ(c *stats.Counters, name string, v uint64) {
+	if v != 0 {
+		c.Add(name, v)
+	}
 }

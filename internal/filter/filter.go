@@ -57,6 +57,54 @@ func AssertCommittedPath(seq uint64, site string) {
 	}
 }
 
+// MaxEpochs is the widest epoch column set an EpochBitTable supports — the
+// width of EpochMask. Engine-count scaling studies run the FMC up to this
+// many memory engines.
+const MaxEpochs = 128
+
+// EpochMask is a bit-vector over physical epoch banks, one bit per bank up
+// to MaxEpochs. The zero value is the empty mask; masks compare with ==.
+type EpochMask struct {
+	// Lo holds banks 0..63, Hi banks 64..127.
+	Lo, Hi uint64
+}
+
+// Empty reports whether no epoch bit is set.
+func (m EpochMask) Empty() bool { return m.Lo|m.Hi == 0 }
+
+// Has reports whether epoch e's bit is set.
+func (m EpochMask) Has(e int) bool {
+	if e < 64 {
+		return m.Lo&(1<<uint(e)) != 0
+	}
+	return m.Hi&(1<<uint(e-64)) != 0
+}
+
+func (m *EpochMask) set(e int) {
+	if e < 64 {
+		m.Lo |= 1 << uint(e)
+	} else {
+		m.Hi |= 1 << uint(e-64)
+	}
+}
+
+func (m *EpochMask) clear(e int) {
+	if e < 64 {
+		m.Lo &^= 1 << uint(e)
+	} else {
+		m.Hi &^= 1 << uint(e-64)
+	}
+}
+
+// MaskOf builds the mask with exactly the given epoch bits set.
+func MaskOf(epochs ...int) EpochMask {
+	var m EpochMask
+	for _, e := range epochs {
+		m.set(e)
+	}
+	return m
+}
+
 // EpochBitTable is the ERT core: for every index it keeps one bit per epoch
 // for loads and one per epoch for stores. Both ERT variants share it — the
 // hash ERT indexes it by HashIndex, the line ERT by the L1 line slot.
@@ -65,21 +113,21 @@ func AssertCommittedPath(seq uint64, site string) {
 // cheap bulk-release mechanism (contrast with the HSQ's per-store counter
 // decrements); it is O(entries touched by the epoch) here.
 type EpochBitTable struct {
-	loads, stores []uint32
+	loads, stores []EpochMask
 	touchedLd     [][]int32
 	touchedSt     [][]int32
 	numEpochs     int
 }
 
 // NewEpochBitTable returns a table with the given entry count and epoch
-// count (<= 32).
+// count (<= MaxEpochs).
 func NewEpochBitTable(entries, numEpochs int) *EpochBitTable {
-	if entries <= 0 || numEpochs <= 0 || numEpochs > 32 {
+	if entries <= 0 || numEpochs <= 0 || numEpochs > MaxEpochs {
 		panic("filter: invalid ERT geometry")
 	}
 	t := &EpochBitTable{
-		loads:     make([]uint32, entries),
-		stores:    make([]uint32, entries),
+		loads:     make([]EpochMask, entries),
+		stores:    make([]EpochMask, entries),
 		touchedLd: make([][]int32, numEpochs),
 		touchedSt: make([][]int32, numEpochs),
 		numEpochs: numEpochs,
@@ -95,47 +143,47 @@ func (t *EpochBitTable) NumEpochs() int { return t.numEpochs }
 
 // SetLoad marks a low-locality load with the given index in epoch e.
 func (t *EpochBitTable) SetLoad(idx, e int) {
-	if t.loads[idx]&(1<<uint(e)) == 0 {
-		t.loads[idx] |= 1 << uint(e)
+	if !t.loads[idx].Has(e) {
+		t.loads[idx].set(e)
 		t.touchedLd[e] = append(t.touchedLd[e], int32(idx))
 	}
 }
 
 // SetStore marks a low-locality store with the given index in epoch e.
 func (t *EpochBitTable) SetStore(idx, e int) {
-	if t.stores[idx]&(1<<uint(e)) == 0 {
-		t.stores[idx] |= 1 << uint(e)
+	if !t.stores[idx].Has(e) {
+		t.stores[idx].set(e)
 		t.touchedSt[e] = append(t.touchedSt[e], int32(idx))
 	}
 }
 
 // LoadMask returns the epoch bit-vector of loads possibly matching idx.
-func (t *EpochBitTable) LoadMask(idx int) uint32 { return t.loads[idx] }
+func (t *EpochBitTable) LoadMask(idx int) EpochMask { return t.loads[idx] }
 
 // StoreMask returns the epoch bit-vector of stores possibly matching idx.
-func (t *EpochBitTable) StoreMask(idx int) uint32 { return t.stores[idx] }
+func (t *EpochBitTable) StoreMask(idx int) EpochMask { return t.stores[idx] }
 
 // ClearEpoch releases epoch e's two columns (on epoch commit or squash).
 func (t *EpochBitTable) ClearEpoch(e int) {
-	m := ^(uint32(1) << uint(e))
 	for _, idx := range t.touchedLd[e] {
-		t.loads[idx] &= m
+		t.loads[idx].clear(e)
 	}
 	t.touchedLd[e] = t.touchedLd[e][:0]
 	for _, idx := range t.touchedSt[e] {
-		t.stores[idx] &= m
+		t.stores[idx].clear(e)
 	}
 	t.touchedSt[e] = t.touchedSt[e][:0]
 }
 
 // EpochsOf lists the epochs set in mask, youngest-first given the caller
 // passes the recency order; here it simply extracts set bits ascending.
-func EpochsOf(mask uint32) []int {
-	out := make([]int, 0, bits.OnesCount32(mask))
-	for mask != 0 {
-		e := bits.TrailingZeros32(mask)
-		out = append(out, e)
-		mask &^= 1 << uint(e)
+func EpochsOf(mask EpochMask) []int {
+	out := make([]int, 0, bits.OnesCount64(mask.Lo)+bits.OnesCount64(mask.Hi))
+	for m := mask.Lo; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros64(m))
+	}
+	for m := mask.Hi; m != 0; m &= m - 1 {
+		out = append(out, 64+bits.TrailingZeros64(m))
 	}
 	return out
 }

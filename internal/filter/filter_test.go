@@ -55,22 +55,22 @@ func TestEpochBitTableSetLookupClear(t *testing.T) {
 	tb.SetStore(5, 3)
 	tb.SetStore(5, 7)
 	tb.SetLoad(5, 2)
-	if m := tb.StoreMask(5); m != (1<<3)|(1<<7) {
+	if m := tb.StoreMask(5); m != MaskOf(3, 7) {
 		t.Errorf("StoreMask = %b", m)
 	}
-	if m := tb.LoadMask(5); m != 1<<2 {
+	if m := tb.LoadMask(5); m != MaskOf(2) {
 		t.Errorf("LoadMask = %b", m)
 	}
-	if m := tb.StoreMask(6); m != 0 {
+	if m := tb.StoreMask(6); !m.Empty() {
 		t.Errorf("untouched index mask = %b", m)
 	}
 	tb.ClearEpoch(3)
-	if m := tb.StoreMask(5); m != 1<<7 {
+	if m := tb.StoreMask(5); m != MaskOf(7) {
 		t.Errorf("after clear StoreMask = %b", m)
 	}
 	tb.ClearEpoch(7)
 	tb.ClearEpoch(2)
-	if tb.StoreMask(5) != 0 || tb.LoadMask(5) != 0 {
+	if !tb.StoreMask(5).Empty() || !tb.LoadMask(5).Empty() {
 		t.Error("clear did not empty the entry")
 	}
 }
@@ -81,7 +81,7 @@ func TestEpochBitTableIdempotentSet(t *testing.T) {
 		tb.SetStore(1, 2)
 	}
 	tb.ClearEpoch(2)
-	if tb.StoreMask(1) != 0 {
+	if !tb.StoreMask(1).Empty() {
 		t.Error("repeated sets broke clearing")
 	}
 	// touched list must not grow unboundedly
@@ -95,13 +95,13 @@ func TestEpochBitTableClearIsolation(t *testing.T) {
 	tb.SetLoad(3, 1)
 	tb.SetLoad(4, 2)
 	tb.ClearEpoch(1)
-	if tb.LoadMask(4) != 1<<2 {
+	if tb.LoadMask(4) != MaskOf(2) {
 		t.Error("clearing epoch 1 damaged epoch 2 state")
 	}
 }
 
 func TestEpochsOf(t *testing.T) {
-	got := EpochsOf(0b1010010)
+	got := EpochsOf(MaskOf(1, 4, 6))
 	want := []int{1, 4, 6}
 	if len(got) != len(want) {
 		t.Fatalf("EpochsOf = %v, want %v", got, want)
@@ -111,7 +111,7 @@ func TestEpochsOf(t *testing.T) {
 			t.Fatalf("EpochsOf = %v, want %v", got, want)
 		}
 	}
-	if len(EpochsOf(0)) != 0 {
+	if len(EpochsOf(EpochMask{})) != 0 {
 		t.Error("EpochsOf(0) not empty")
 	}
 }
@@ -120,7 +120,7 @@ func TestEpochBitTableGeometryPanics(t *testing.T) {
 	for _, f := range []func(){
 		func() { NewEpochBitTable(0, 16) },
 		func() { NewEpochBitTable(16, 0) },
-		func() { NewEpochBitTable(16, 33) },
+		func() { NewEpochBitTable(16, MaxEpochs+1) },
 	} {
 		func() {
 			defer func() {
@@ -338,7 +338,7 @@ func TestClearEpochNoResidue(t *testing.T) {
 	}
 	tb.ClearEpoch(2)
 	for idx := 0; idx < 64; idx++ {
-		if tb.LoadMask(idx)&(1<<2) != 0 || tb.StoreMask(idx)&(1<<2) != 0 {
+		if tb.LoadMask(idx).Has(2) || tb.StoreMask(idx).Has(2) {
 			t.Fatalf("entry %d keeps epoch-2 bits after ClearEpoch", idx)
 		}
 	}
@@ -348,7 +348,7 @@ func TestClearEpochNoResidue(t *testing.T) {
 	}
 	// The other epoch's columns survive untouched.
 	for idx := 0; idx < 64; idx += 3 {
-		if tb.LoadMask(idx)&(1<<5) == 0 || tb.StoreMask(idx)&(1<<5) == 0 {
+		if !tb.LoadMask(idx).Has(5) || !tb.StoreMask(idx).Has(5) {
 			t.Fatalf("ClearEpoch(2) disturbed epoch 5 at entry %d", idx)
 		}
 	}
@@ -356,7 +356,7 @@ func TestClearEpochNoResidue(t *testing.T) {
 	// second clear must still remove everything.
 	tb.SetStore(7, 2)
 	tb.ClearEpoch(2)
-	if tb.StoreMask(7)&(1<<2) != 0 || len(tb.touchedSt[2]) != 0 {
+	if tb.StoreMask(7).Has(2) || len(tb.touchedSt[2]) != 0 {
 		t.Fatal("stale state after set-clear-set-clear cycle")
 	}
 }

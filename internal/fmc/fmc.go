@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/noc"
 	"repro/internal/sched"
 )
 
@@ -32,11 +33,17 @@ type Release struct {
 }
 
 // Epochs manages the age-partitioned epoch lifecycle. Virtual epoch ids are
-// monotonic; virtual epoch v occupies physical bank v mod NumEpochs and can
-// only open once virtual epoch v-NumEpochs has fully committed (its bank's
-// checkpoint is released).
+// monotonic; each virtual epoch occupies the physical bank its Placer picks
+// (v mod NumEpochs under the default ModN policy) and can only open once
+// that bank's previous occupant has fully committed (its checkpoint is
+// released). Epochs implements BankMap over its placement record.
 type Epochs struct {
 	cfg *config.Config
+	// placer picks the bank each opening epoch lands on; fab charges
+	// epoch-state migration bandwidth when the pick is off the home bank
+	// (nil fab = free moves).
+	placer Placer
+	fab    noc.Fabric
 	// curr is the open virtual epoch, or -1.
 	curr int64
 	// next is the next virtual id to allocate.
@@ -59,9 +66,25 @@ type Epochs struct {
 	// serialise independent miss chains that interleave in program order.
 	cal []*sched.Calendar
 
+	// bankOf and vOf ring-record the bank of each recent virtual epoch
+	// (indexed v & bankMask); vOf guards against the ring wrapping past a
+	// still-referenced epoch. The window is far wider than the number of
+	// epochs the queues can keep alive at once.
+	bankOf   []int32
+	vOf      []int64
+	bankMask int64
+	// prevBank is the bank of the most recently opened epoch (-1 before
+	// the first), feeding locality-aware placement.
+	prevBank int
+
 	// ActiveCycleSum accumulates (release - open) over all epochs, for the
 	// mean-allocated-epochs statistic.
 	ActiveCycleSum int64
+	// bankActive accumulates the same per bank, for the Figure 11
+	// per-engine residency / power-down claim.
+	bankActive []int64
+	// Steals counts epochs placed off their mod-N home bank.
+	Steals uint64
 	// Opened counts epochs ever opened.
 	Opened uint64
 	// lastReleased is the most recently released virtual epoch (-1 before
@@ -70,23 +93,70 @@ type Epochs struct {
 	lastReleased int64
 }
 
-// NewEpochs builds the epoch manager for the configuration.
-func NewEpochs(cfg *config.Config) *Epochs {
+// NewEpochs builds the epoch manager for the configuration. placer picks
+// each opening epoch's bank (nil = the default mod-N interleaving) and fab
+// charges epoch-state migration when the pick is off the home bank (nil =
+// free moves). horizon bounds each engine calendar's reservation spread;
+// values <= 0 use the default 1<<14.
+func NewEpochs(cfg *config.Config, placer Placer, fab noc.Fabric, horizon int) *Epochs {
+	if placer == nil {
+		placer = ModN{}
+	}
+	if horizon <= 0 {
+		horizon = 1 << 14
+	}
+	ring := 64
+	for ring < 8*cfg.NumEpochs {
+		ring <<= 1
+	}
 	e := &Epochs{
 		cfg:          cfg,
+		placer:       placer,
+		fab:          fab,
 		curr:         -1,
 		bankFree:     make([]int64, cfg.NumEpochs),
 		cal:          make([]*sched.Calendar, cfg.NumEpochs),
+		bankOf:       make([]int32, ring),
+		vOf:          make([]int64, ring),
+		bankMask:     int64(ring - 1),
+		prevBank:     -1,
+		bankActive:   make([]int64, cfg.NumEpochs),
 		lastReleased: -1,
 	}
 	for i := range e.cal {
-		e.cal[i] = sched.NewCalendar(cfg.MEIssueWidth, 1<<14)
+		e.cal[i] = sched.NewCalendar(cfg.MEIssueWidth, horizon)
+	}
+	for i := range e.vOf {
+		e.vOf[i] = -1
 	}
 	return e
 }
 
-// Physical returns the bank of virtual epoch v.
+// Physical returns the mod-N home bank of virtual epoch v — where the
+// default placement puts it and where its checkpoint slot natively lives.
+// The bank actually hosting v is Bank(v); the two differ only when a
+// non-default Placer stole it.
 func (e *Epochs) Physical(v int64) int { return int(v % int64(e.cfg.NumEpochs)) }
+
+// Bank implements BankMap: the physical bank hosting virtual epoch v, as
+// recorded when v opened. It panics if v is older than the placement ring's
+// window (a referenced epoch can never fall out of it) or never opened.
+func (e *Epochs) Bank(v int64) int {
+	i := v & e.bankMask
+	if e.vOf[i] != v {
+		panic(fmt.Sprintf("fmc: bank lookup for epoch %d outside the placement window (have %d)", v, e.vOf[i]))
+	}
+	return int(e.bankOf[i])
+}
+
+// Banks returns the number of physical banks (memory engines).
+func (e *Epochs) Banks() int { return e.cfg.NumEpochs }
+
+// BankActive returns the per-bank busy-cycle accounting: BankActive()[b] is
+// the total cycles bank b spent with an epoch open (the complement of the
+// Figure 11 power-down residency). The slice is live; callers must not
+// mutate it.
+func (e *Epochs) BankActive() []int64 { return e.bankActive }
 
 // Assign places a migrating op (exec: executes on the engine and counts
 // toward the 128-instruction budget; load/store: occupies an LL queue
@@ -109,10 +179,21 @@ func (e *Epochs) Assign(exec, load, store bool, seq uint64, t int64) (v int64, e
 		}
 		v = e.next
 		e.next++
-		p := e.Physical(v)
+		p := e.placer.Place(v, t, e.prevBank, e.bankFree)
 		if e.bankFree[p] > enterAt {
 			enterAt = e.bankFree[p]
 		}
+		if home := e.Physical(v); p != home {
+			// Stolen: the epoch's state block must travel from its home
+			// bank to the host, charging real mesh bandwidth.
+			e.Steals++
+			if e.fab != nil {
+				enterAt = e.fab.MigrateState(home, p, EpochStateFlits, enterAt)
+			}
+		}
+		i := v & e.bankMask
+		e.bankOf[i], e.vOf[i] = int32(p), v
+		e.prevBank = p
 		e.curr = v
 		e.execs, e.loads, e.stores = 0, 0, 0
 		e.currInfo = epochInfo{open: enterAt}
@@ -142,9 +223,10 @@ func (e *Epochs) release(v int64) Release {
 	}
 	e.lastReleased = v
 	inf := e.currInfo
-	p := e.Physical(v)
+	p := e.Bank(v)
 	e.bankFree[p] = inf.lastCommit
 	e.ActiveCycleSum += inf.lastCommit - inf.open
+	e.bankActive[p] += inf.lastCommit - inf.open
 	e.curr = -1
 	return Release{V: v, At: inf.lastCommit, OK: true}
 }
@@ -152,7 +234,7 @@ func (e *Epochs) release(v int64) Release {
 // Issue reserves an issue slot on epoch v's engine at the earliest cycle >=
 // ready respecting the engine's issue width.
 func (e *Epochs) Issue(v int64, ready int64) int64 {
-	return e.cal[e.Physical(v)].Reserve(ready)
+	return e.cal[e.Bank(v)].Reserve(ready)
 }
 
 // Committed records that the op with sequence seq of virtual epoch v

@@ -10,15 +10,16 @@ import (
 // Processor pay the CP<->MP round-trip for every search; the queue itself
 // never filters, stalls, or overflows.
 type Central struct {
-	bus *noc.Bus
+	fab noc.Fabric
 	c   *stats.Counters
 
 	cHLSQ, cHLLQ, cRoundtrip *uint64
 }
 
-// NewCentral builds the idealised queue over the given CP<->MP bus.
-func NewCentral(bus *noc.Bus) *Central {
-	s := &Central{bus: bus, c: stats.NewCounters()}
+// NewCentral builds the idealised queue over the given interconnect fabric
+// (searches from the Memory Processor pay its CP<->MP round trip).
+func NewCentral(fab noc.Fabric) *Central {
+	s := &Central{fab: fab, c: stats.NewCounters()}
 	s.cHLSQ = s.c.Handle("hl_sq")
 	s.cHLLQ = s.c.Handle("hl_lq")
 	s.cRoundtrip = s.c.Handle("roundtrip")
@@ -34,7 +35,7 @@ func (s *Central) LoadIssue(ld *MemOp, ix *StoreIndex, t int64) LoadResult {
 	*s.cHLSQ++ // the central queue is counted as the HL structure
 	var extra int64
 	if ld.LowLoc {
-		extra = int64(s.bus.RoundTrip())
+		extra = s.fab.BusRoundTrip(t) - t
 		*s.cRoundtrip++
 	}
 	match, _ := FindForward(ld, ix.Candidates(ld, t), t)

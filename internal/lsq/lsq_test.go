@@ -213,8 +213,7 @@ func TestStoreIndexCandidatesProperty(t *testing.T) {
 }
 
 func TestCentralScheme(t *testing.T) {
-	bus := noc.NewBus(4)
-	s := NewCentral(bus)
+	s := NewCentral(noc.NewAnalytic(noc.NewBus(4), noc.NewMesh(4, 4, 1)))
 	if s.Name() != "central" {
 		t.Error("name wrong")
 	}

@@ -49,6 +49,9 @@ func (m *Mesh) Traverse(a, b int) int {
 	return d * m.hopCost
 }
 
+// HopCost returns the configured per-hop latency in cycles.
+func (m *Mesh) HopCost() int { return m.hopCost }
+
 // Bus is the CP<->MP link with a fixed one-way latency.
 type Bus struct {
 	oneWay int

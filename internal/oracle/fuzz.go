@@ -66,6 +66,9 @@ var fuzzAxes = []struct {
 	{"svw", []string{"blind", "checkstores"}},
 	{"migrate.threshold", []string{"8", "48", "192"}},
 	{"mispredict.penalty", []string{"2", "8", "20"}},
+	{"noc.model", []string{"analytic", "contended"}},
+	{"noc.linkwidth", []string{"1", "2", "4"}},
+	{"place.policy", []string{"modn", "leastloaded", "steal"}},
 }
 
 // schemePoints are the (model, lsq) combinations the pipeline model

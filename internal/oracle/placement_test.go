@@ -1,0 +1,45 @@
+// Oracle certification of the placement-policy x fabric-model matrix:
+// epoch placement and interconnect contention are timing-only mechanisms,
+// so every committed load value must still match the sequential reference
+// byte-for-byte under every policy and both fabric models.
+package oracle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestOracleCleanAllPlacementsBothSuites certifies the full placement x
+// fabric cross product over every benchmark of both suites.
+func TestOracleCleanAllPlacementsBothSuites(t *testing.T) {
+	for _, pol := range []config.PlacePolicy{config.PlaceModN, config.PlaceLeastLoaded, config.PlaceSteal} {
+		for _, model := range []config.NoCModel{config.NoCAnalytic, config.NoCContended} {
+			label := fmt.Sprintf("%s-%s", pol, model)
+			t.Run(label, func(t *testing.T) {
+				cfg := config.Default().WithBudget(testMeasure, testWarmup)
+				cfg.Place = pol
+				cfg.NoC = model
+				for _, suite := range []workload.Suite{workload.SuiteInt, workload.SuiteFP} {
+					for _, prof := range workload.SuiteOf(suite) {
+						certify(t, label, cfg, prof.Name, 1)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOracleCleanContendedWideLinks adds the non-default link width to the
+// certification surface (wider links change migration timing shape).
+func TestOracleCleanContendedWideLinks(t *testing.T) {
+	cfg := config.Default().WithBudget(testMeasure, testWarmup)
+	cfg.NoC = config.NoCContended
+	cfg.NoCLinkWidth = 4
+	cfg.Place = config.PlaceSteal
+	for _, bench := range modesBenches {
+		certify(t, "steal-contended-w4", cfg, bench, 1)
+	}
+}
