@@ -12,6 +12,7 @@
 //	elsqbench -smoke -resume-check                    # ckpt-resumed == full digests
 //	elsqbench -ckpt-speedup                           # warm-up-sharing wall-clock win
 //	elsqbench -smoke -batch 8                         # batched == scalar digests
+//	elsqbench -smoke -energy                          # pJ/inst + bank power-down columns
 //
 // Regression semantics (see internal/bench): results digests and headline
 // metrics are deterministic and must match the baseline exactly on the
@@ -52,6 +53,8 @@ func main() {
 	oracleCertify := flag.Bool("oracle", false, "certify each point against the differential correctness oracle (internal/oracle) instead of measuring; fails on any committed-load value mismatch")
 	batchLanes := flag.Int("batch", 0, "run each point's benchmark as this many warm-up-sharing lanes on the batch engine and as sequential scalar runs, fail on any results-digest divergence, and print the aggregate speedup (no throughput measurement)")
 	batchWarmup := flag.Uint64("batch-warmup", 0, "override WarmupInsts for -batch points (0 keeps the matrix budget); the shared-warm-up speedup scales with the warm:measure ratio, so headline numbers use the paper's 2.5M-instruction warm-up")
+	energyCol := flag.Bool("energy", false, "print the energy columns (pJ/inst, FMC bank power-down fraction, energy digest) per point; the quantities are always measured and stored in the artifact")
+	energyTable := flag.String("energy-table", "", "energy coefficient table for every point (empty = base; see internal/energy)")
 	flag.Parse()
 
 	if *gcPercent > 0 {
@@ -67,6 +70,7 @@ func main() {
 	for i := range points {
 		points[i].Config.SampleIntervals = *sampleIntervals
 		points[i].Config.SampleBleedInsts = *sampleBleed
+		points[i].Config.EnergyTable = *energyTable
 		points[i].TraceDir = *traceDir
 	}
 	if *pointFilter != "" {
@@ -112,6 +116,10 @@ func main() {
 		}
 		fmt.Printf("%-18s %8.2f M insts/s (median %.2f)  allocs/inst %.4f  IPC %.4f  digest %s\n",
 			pr.Name, pr.InstsPerSec/1e6, pr.InstsPerSecMedian/1e6, pr.AllocsPerInst, pr.MeanIPC, pr.ResultsDigest)
+		if *energyCol {
+			fmt.Printf("%-18s %8.1f pJ/inst  bank power-down %5.1f%%  energy digest %s\n",
+				"", pr.EnergyPJPerInst, pr.BankPowerDownFrac*100, pr.EnergyDigest)
+		}
 		results = append(results, pr)
 	}
 	art := bench.NewArtifact(results)

@@ -46,13 +46,30 @@ import (
 const fuzzChunk = 8
 
 // checkPoint runs one fuzz point with the differential oracle attached and
-// returns the checker (never nil on a nil error).
+// returns the checker (never nil on a nil error). It also certifies the
+// point's energy report: present under every fuzzed energy.table, with the
+// accounting identity (totals == structure sums, all values finite and
+// non-negative) intact.
 func checkPoint(p oracle.FuzzPoint) (*oracle.Checker, error) {
 	out, err := simrun.Point{Config: p.Config, Bench: p.Bench, Seed: p.Seed, Oracle: true}.Run(nil)
 	if err != nil {
 		return nil, err
 	}
+	if err := checkEnergy(out); err != nil {
+		return nil, err
+	}
 	return out.Oracle, nil
+}
+
+// checkEnergy asserts one outcome's energy accounting identity.
+func checkEnergy(out *simrun.Outcome) error {
+	if out.Energy == nil {
+		return fmt.Errorf("energy report missing from outcome")
+	}
+	if err := out.Energy.Check(); err != nil {
+		return fmt.Errorf("energy accounting identity violated: %w", err)
+	}
+	return nil
 }
 
 func main() {
@@ -133,6 +150,13 @@ func main() {
 					if o.Err != nil {
 						mu.Lock()
 						fmt.Fprintf(os.Stderr, "seed %d: %s: %v\n", s, p.Label(), o.Err)
+						mu.Unlock()
+						atomic.AddUint64(&failures, 1)
+						continue
+					}
+					if eerr := checkEnergy(o); eerr != nil {
+						mu.Lock()
+						fmt.Fprintf(os.Stderr, "VIOLATION seed %d: %s\n  %v\n", s, p.Label(), eerr)
 						mu.Unlock()
 						atomic.AddUint64(&failures, 1)
 						continue

@@ -109,8 +109,8 @@ func DefaultTolerance() Tolerance {
 type Regression struct {
 	// Point names the matrix point.
 	Point string
-	// Kind classifies the failure: "metric-drift", "allocs", "throughput",
-	// or "missing-point".
+	// Kind classifies the failure: "metric-drift", "energy-drift",
+	// "allocs", "throughput", or "missing-point".
 	Kind string
 	// Detail is the human-readable explanation.
 	Detail string
@@ -154,6 +154,13 @@ func Compare(baseline, fresh *Artifact, tol Tolerance) []Regression {
 			regs = append(regs, Regression{Point: old.Name, Kind: "metric-drift",
 				Detail: fmt.Sprintf("results digest %s != baseline %s (IPC %.4f vs %.4f): simulation output changed — if intended, regenerate the baseline and bump the sweep cache version",
 					cur.ResultsDigest, old.ResultsDigest, cur.MeanIPC, old.MeanIPC)})
+		}
+		// Energy digests are deterministic like results digests but post-date
+		// older baselines: enforced only when the baseline recorded one.
+		if sameArch && old.EnergyDigest != "" && cur.EnergyDigest != old.EnergyDigest {
+			regs = append(regs, Regression{Point: old.Name, Kind: "energy-drift",
+				Detail: fmt.Sprintf("energy digest %s != baseline %s (%.1f vs %.1f pJ/inst): activity counters or the energy table changed — if intended, regenerate the baseline",
+					cur.EnergyDigest, old.EnergyDigest, cur.EnergyPJPerInst, old.EnergyPJPerInst)})
 		}
 		// Tolerance bands are fractions; render them with %.3g so non-integer
 		// percentages survive (0.125 is "12.5%", not a truncated "12%").

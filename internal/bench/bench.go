@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/energy"
 	"repro/internal/simrun"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -180,6 +181,16 @@ type PointResult struct {
 	// must produce identical digests on a given GOARCH; a mismatch against
 	// the baseline means simulation results drifted.
 	ResultsDigest string `json:"results_digest"`
+	// EnergyPJPerInst is the suite total energy (internal/energy, the
+	// config's energy.table) per committed instruction; BankPowerDownFrac
+	// is the suite-mean powered-down fraction of the FMC LL-LSQ banks (the
+	// paper's Figure 11 claim, 0 for non-FMC schemes); EnergyDigest folds
+	// every benchmark's energy report into one hex digest. All three are
+	// deterministic; they post-date older baselines (omitempty), and
+	// Compare checks the digest only when the baseline carries one.
+	EnergyPJPerInst   float64 `json:"energy_pj_per_inst,omitempty"`
+	BankPowerDownFrac float64 `json:"bank_power_down_frac,omitempty"`
+	EnergyDigest      string  `json:"energy_digest,omitempty"`
 }
 
 // Run measures one point: reps repetitions over the whole suite, each
@@ -236,6 +247,29 @@ func (p Point) Run(reps int) (PointResult, error) {
 	pr.LoadLocality30 = lf / n
 	pr.StoreLocality30 = sf / n
 	pr.ResultsDigest = digestResults(results)
+	// Energy mapping runs after the timed repetitions so it never lands in
+	// an allocation-measurement window (the counters themselves ride
+	// pre-interned handles and cost the hot path nothing).
+	eh := sha256.New()
+	var totalPJ float64
+	var committed uint64
+	var pd float64
+	for i, prof := range profs {
+		cfg := p.config(prof)
+		rep, err := energy.Compute(&cfg, results[i])
+		if err != nil {
+			return pr, fmt.Errorf("bench %s/%s: %w", p.Name, prof.Name, err)
+		}
+		totalPJ += rep.TotalPJ
+		committed += results[i].Committed
+		pd += rep.BankPowerDownFrac
+		eh.Write([]byte(rep.Digest()))
+	}
+	if committed > 0 {
+		pr.EnergyPJPerInst = totalPJ / float64(committed)
+	}
+	pr.BankPowerDownFrac = pd / n
+	pr.EnergyDigest = hex.EncodeToString(eh.Sum(nil)[:16])
 	return pr, nil
 }
 

@@ -329,6 +329,15 @@ type Config struct {
 	// identity; a replaced file under one path does not).
 	TraceDigest string `json:",omitempty"`
 
+	// EnergyTable names the per-access energy/area coefficient table the
+	// post-run energy model (internal/energy) maps activity counters
+	// through. Empty means the default "base" table and is omitted from the
+	// canonical encoding, so every legacy sweep/checkpoint/golden key is
+	// unchanged. The table is observational only — it never feeds back into
+	// timing — and its value is validated by internal/energy at report time
+	// (config cannot depend on energy without a cycle).
+	EnergyTable string `json:",omitempty"`
+
 	// WarmupInsts is the number of committed instructions executed before
 	// measurement starts, so caches and predictor-equivalent state reach
 	// steady state (the paper measures SimPoints of already-warm

@@ -1,0 +1,59 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnergyTableOmittedAtDefault pins the byte-identity contract the
+// energy model rides on: the default (empty) EnergyTable vanishes from the
+// canonical encoding, so golden SweepKeys, sweep cache keys and checkpoint
+// keys predating the field stay byte-identical.
+func TestEnergyTableOmittedAtDefault(t *testing.T) {
+	def := Default()
+	if s := string(def.Canonical()); strings.Contains(s, "EnergyTable") {
+		t.Fatalf("default canonical encoding mentions EnergyTable:\n%s", s)
+	}
+	hp := def
+	hp.EnergyTable = "hp"
+	if !strings.Contains(string(hp.Canonical()), "EnergyTable") {
+		t.Fatal("non-default EnergyTable missing from canonical encoding")
+	}
+	if def.Hash() == hp.Hash() {
+		t.Fatal("EnergyTable does not reach the config hash")
+	}
+}
+
+// TestEnergyTableExcludedFromWarmKey: the coefficient table is
+// observational, so runs differing only on it must share warm-up
+// checkpoints and batch lane groups.
+func TestEnergyTableExcludedFromWarmKey(t *testing.T) {
+	def := Default()
+	hp := def
+	hp.EnergyTable = "hp"
+	if def.WarmKey() != hp.WarmKey() {
+		t.Fatalf("warm key moved with the energy table: %s vs %s", def.WarmKey(), hp.WarmKey())
+	}
+}
+
+// TestEnergyTableFieldRoundTrip exercises the registry axis elsqsweep and
+// the fuzzer drive.
+func TestEnergyTableFieldRoundTrip(t *testing.T) {
+	spec, err := FieldByName("energy.table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	if got := spec.Get(&cfg); got != "" {
+		t.Fatalf("default energy.table = %q, want empty", got)
+	}
+	if err := SetField(&cfg, "energy.table", "lp"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EnergyTable != "lp" || spec.Get(&cfg) != "lp" {
+		t.Fatalf("round trip lost the value: field %q, getter %q", cfg.EnergyTable, spec.Get(&cfg))
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("energy.table=lp fails Validate: %v", err)
+	}
+}

@@ -218,6 +218,11 @@ func fieldRegistry() []FieldSpec {
 			},
 			Get: func(c *Config) string { return c.TracePath },
 		},
+		{
+			Name: "energy.table", Doc: "energy/area coefficient table for the post-run energy model: base | hp | lp (empty = base; observational only, never affects timing)",
+			Set: func(c *Config, v string) error { c.EnergyTable = v; return nil },
+			Get: func(c *Config) string { return c.EnergyTable },
+		},
 	}
 }
 

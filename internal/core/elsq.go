@@ -84,11 +84,15 @@ type ELSQ struct {
 	bypassed []bool
 
 	c *stats.Counters
+	// act holds energy-accounting activity counters (cpu.Result.Activity):
+	// separate from c so the digest-pinned counter set never changes.
+	act *stats.Counters
 
 	// Interned counter handles for the per-operation paths.
 	cHLSQ, cHLLQ, cLLSQ, cLLLQ, cERT         *uint64
 	cSQMUpdate, cSQMSearch, cRoundtrip       *uint64
 	cFwdLocal, cFwdGlobal, cERTFalsePositive *uint64
+	aERTInsert                               *uint64
 
 	// Per-LoadIssue scratch replacing a per-call map: the youngest matching
 	// store per physical bank, stamped with a generation so no clearing is
@@ -136,6 +140,7 @@ func New(cfg *config.Config, fab noc.Fabric, l1 *mem.Cache, banks fmc.BankMap, o
 		lockedSlots:   make([][]mem.LineSlot, cfg.NumEpochs),
 		bypassed:      make([]bool, cfg.NumEpochs),
 		c:             stats.NewCounters(),
+		act:           stats.NewCounters(),
 		matchGen:      make([]uint64, cfg.NumEpochs),
 		matchV:        make([]int64, cfg.NumEpochs),
 		matchOp:       make([]*lsq.MemOp, cfg.NumEpochs),
@@ -151,6 +156,7 @@ func New(cfg *config.Config, fab noc.Fabric, l1 *mem.Cache, banks fmc.BankMap, o
 	e.cFwdLocal = e.c.Handle("ll_forward_local")
 	e.cFwdGlobal = e.c.Handle("ll_forward_global")
 	e.cERTFalsePositive = e.c.Handle("ert_false_positive")
+	e.aERTInsert = e.act.Handle("ert_insert")
 	for i := range e.activeVirtual {
 		e.activeVirtual[i] = -1
 	}
@@ -165,6 +171,10 @@ func (e *ELSQ) Name() string { return e.cfg.Name() }
 
 // Counters implements lsq.Scheme.
 func (e *ELSQ) Counters() *stats.Counters { return e.c }
+
+// Activity returns the energy-accounting activity counters (ERT filter
+// inserts); the cpu driver folds them into Result.Activity.
+func (e *ELSQ) Activity() *stats.Counters { return e.act }
 
 // physical returns the bank holding virtual epoch v.
 func (e *ELSQ) physical(v int64) int { return e.banks.Bank(v) }
@@ -258,6 +268,7 @@ func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
 	}
 	if op.Store {
 		e.ert.SetStore(idx, phys)
+		*e.aERTInsert++
 		if e.cfg.SQM {
 			*e.cSQMUpdate++
 		}
@@ -265,6 +276,7 @@ func (e *ELSQ) insert(op *lsq.MemOp, canStall bool) (stall int64, ok bool) {
 		// The Load-ERT exists only when stores perform global violation
 		// searches (full disambiguation or RLAC).
 		e.ert.SetLoad(idx, phys)
+		*e.aERTInsert++
 	}
 	return stall, true
 }

@@ -173,6 +173,27 @@ func (l *Lane) Finish() *Result {
 		}
 		res.BankPowerDownFrac = idle / float64(len(ba))
 	}
+	// Energy-accounting activity bag (internal/energy): the level-split
+	// cache accesses accumulated in s.act, plus per-source action counts
+	// read out here. Plain Add keeps the name set deterministic per
+	// configuration; the bag is excluded from golden and bench digests.
+	res.Activity = s.act
+	if a, ok := s.scheme.(interface{ Activity() *stats.Counters }); ok {
+		res.Activity.Merge(a.Activity())
+	}
+	if s.svwEng != nil {
+		res.Activity.Add("ssbf_read", s.svwEng.SSBFReads())
+		res.Activity.Add("ssbf_write", s.svwEng.SSBFWrites())
+	}
+	res.Activity.Add("noc_oneway", fs.OneWays)
+	res.Activity.Add("noc_roundtrip", fs.RoundTrips)
+	res.Activity.Add("noc_migrate_flit", fs.MigrateFlits)
+	if s.epochs != nil {
+		res.Activity.Add("epoch_open", s.epochs.Opened)
+		res.Activity.Add("epoch_steal", s.epochs.Steals)
+		res.Activity.Add("epoch_release", s.epochs.Releases)
+		res.Activity.Add("me_issue", s.epochs.Issues)
+	}
 	return res
 }
 

@@ -87,6 +87,11 @@ type Epochs struct {
 	Steals uint64
 	// Opened counts epochs ever opened.
 	Opened uint64
+	// Releases counts epochs released (fully committed or force-closed) and
+	// Issues counts engine issue-slot reservations; both feed the energy
+	// model's epoch-lifecycle and engine-activity actions.
+	Releases uint64
+	Issues   uint64
 	// lastReleased is the most recently released virtual epoch (-1 before
 	// the first release). Epochs are age-partitioned, so releases must be
 	// strictly monotonic in the virtual id; release asserts this.
@@ -227,6 +232,7 @@ func (e *Epochs) release(v int64) Release {
 	e.bankFree[p] = inf.lastCommit
 	e.ActiveCycleSum += inf.lastCommit - inf.open
 	e.bankActive[p] += inf.lastCommit - inf.open
+	e.Releases++
 	e.curr = -1
 	return Release{V: v, At: inf.lastCommit, OK: true}
 }
@@ -234,6 +240,7 @@ func (e *Epochs) release(v int64) Release {
 // Issue reserves an issue slot on epoch v's engine at the earliest cycle >=
 // ready respecting the engine's issue width.
 func (e *Epochs) Issue(v int64, ready int64) int64 {
+	e.Issues++
 	return e.cal[e.Bank(v)].Reserve(ready)
 }
 

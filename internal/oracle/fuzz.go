@@ -69,6 +69,7 @@ var fuzzAxes = []struct {
 	{"noc.model", []string{"analytic", "contended"}},
 	{"noc.linkwidth", []string{"1", "2", "4"}},
 	{"place.policy", []string{"modn", "leastloaded", "steal"}},
+	{"energy.table", []string{"base", "hp", "lp"}},
 }
 
 // schemePoints are the (model, lsq) combinations the pipeline model

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/energy"
 	"repro/internal/mem"
 	"repro/internal/oracle"
 	"repro/internal/trace"
@@ -136,6 +137,13 @@ func runGroup(ctx context.Context, points []Point, idx []int, outs []*Outcome) e
 	}
 	for k, i := range idx {
 		groupOuts[k].Result = results[k]
+		// Per-lane energy report under the lane's own config (the group
+		// shares only warm-relevant fields; energy.table may differ).
+		if rep, err := energy.Compute(&specs[k].Config, results[k]); err != nil {
+			groupOuts[k].Err = err
+		} else {
+			groupOuts[k].Energy = rep
+		}
 		outs[i] = groupOuts[k]
 	}
 	return nil

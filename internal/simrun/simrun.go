@@ -31,6 +31,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/energy"
 	"repro/internal/oracle"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -83,6 +84,10 @@ type Point struct {
 type Outcome struct {
 	// Result is the simulation result.
 	Result *cpu.Result
+	// Energy is the run's activity-energy/area report (internal/energy),
+	// computed from Result under the config's energy.table. Observational
+	// only: it derives from the result, never influences it.
+	Energy *energy.Report
 	// Oracle is the attached checker when Point.Oracle was set.
 	Oracle *oracle.Checker
 	// Resumed reports that the run started from a checkpoint (explicit or
@@ -151,13 +156,16 @@ func (p Point) Run(ctx context.Context) (*Outcome, error) {
 	p.attach(sim, out)
 	if ctx == nil {
 		out.Result = sim.Run()
-		return out, nil
+	} else {
+		res, err := sim.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Result = res
 	}
-	res, err := sim.RunContext(ctx)
-	if err != nil {
+	if out.Energy, err = energy.Compute(&cfg, out.Result); err != nil {
 		return nil, err
 	}
-	out.Result = res
 	return out, nil
 }
 

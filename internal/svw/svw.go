@@ -50,6 +50,13 @@ func (e *Engine) Counters() *stats.Counters { return e.c }
 // SSBFAccesses returns total SSBF reads+writes (the Table 2 SSBF column).
 func (e *Engine) SSBFAccesses() uint64 { return e.ssbf.Reads + e.ssbf.Writes }
 
+// SSBFReads returns the filter's read (vulnerability-test) count; the
+// energy model prices reads and writes separately.
+func (e *Engine) SSBFReads() uint64 { return e.ssbf.Reads }
+
+// SSBFWrites returns the filter's write (store-commit update) count.
+func (e *Engine) SSBFWrites() uint64 { return e.ssbf.Writes }
+
 // StoreCommitted records a store's commit: its program-order sequence
 // number and commit cycle are written into its SSBF entry atomically, so
 // the vulnerability test always compares a single store's sequence number
