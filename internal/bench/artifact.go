@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -162,23 +163,30 @@ func Compare(baseline, fresh *Artifact, tol Tolerance) []Regression {
 				Detail: fmt.Sprintf("energy digest %s != baseline %s (%.1f vs %.1f pJ/inst): activity counters or the energy table changed — if intended, regenerate the baseline",
 					cur.EnergyDigest, old.EnergyDigest, cur.EnergyPJPerInst, old.EnergyPJPerInst)})
 		}
-		// Tolerance bands are fractions; render them with %.3g so non-integer
-		// percentages survive (0.125 is "12.5%", not a truncated "12%").
 		if old.AllocsPerInst >= 0 && cur.AllocsPerInst > old.AllocsPerInst*(1+tol.Allocs)+0.01 {
 			regs = append(regs, Regression{Point: old.Name, Kind: "allocs",
-				Detail: fmt.Sprintf("allocs/inst %.4f exceeds baseline %.4f by more than %.3g%%",
-					cur.AllocsPerInst, old.AllocsPerInst, tol.Allocs*100)})
+				Detail: fmt.Sprintf("allocs/inst %.4f exceeds baseline %.4f by more than %s",
+					cur.AllocsPerInst, old.AllocsPerInst, pct(tol.Allocs))})
 		}
 		if tol.EnforceThroughput && old.InstsPerSecMedian > 0 {
 			loss := 1 - cur.InstsPerSecMedian/old.InstsPerSecMedian
 			if loss > tol.Throughput {
 				regs = append(regs, Regression{Point: old.Name, Kind: "throughput",
-					Detail: fmt.Sprintf("median %.2f M insts/s is %.0f%% below baseline %.2f M insts/s (band %.3g%%)",
-						cur.InstsPerSecMedian/1e6, loss*100, old.InstsPerSecMedian/1e6, tol.Throughput*100)})
+					Detail: fmt.Sprintf("median %.2f M insts/s is %.0f%% below baseline %.2f M insts/s (band %s)",
+						cur.InstsPerSecMedian/1e6, loss*100, old.InstsPerSecMedian/1e6, pct(tol.Throughput))})
 			}
 		}
 	}
 	return regs
+}
+
+// pct renders a fractional tolerance band as a percentage. The %.3g
+// formatting it replaces truncated non-integer percentages unevenly across
+// magnitudes: 0.125 survived as "12.5%" while a sub-0.1% band like
+// 0.0012345 collapsed to "0.123%". Ten significant digits absorb the
+// frac*100 rounding error while preserving every band a human would write.
+func pct(frac float64) string {
+	return strconv.FormatFloat(frac*100, 'g', 10, 64) + "%"
 }
 
 // DiffTable renders a point-by-point comparison for human eyes.

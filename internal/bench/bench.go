@@ -95,6 +95,13 @@ func schemes() []scheme {
 	contendedSteal := config.Default()
 	contendedSteal.NoC = config.NoCContended
 	contendedSteal.Place = config.PlaceSteal
+	// Classifier rows track the predictive HL/LL split policies
+	// (internal/predict) against the reactive default; like the fabric rows
+	// they are new matrix points absent from older baselines.
+	pred := config.Default()
+	pred.Class = config.ClassCacheLevel
+	delay := config.Default()
+	delay.Class = config.ClassDelayTrack
 	return []scheme{
 		{"elsq", config.Default()},
 		{"ooo64", config.OoO64()},
@@ -102,6 +109,8 @@ func schemes() []scheme {
 		{"svw", svw},
 		{"elsq-noc", contended},
 		{"elsq-noc-steal", contendedSteal},
+		{"elsq-pred", pred},
+		{"elsq-delay", delay},
 	}
 }
 

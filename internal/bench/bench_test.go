@@ -16,11 +16,11 @@ import (
 func TestMatrixShape(t *testing.T) {
 	smoke := Matrix(true)
 	full := Matrix(false)
-	if len(smoke) != 12 {
-		t.Fatalf("smoke matrix has %d points, want 12", len(smoke))
+	if len(smoke) != 16 {
+		t.Fatalf("smoke matrix has %d points, want 16", len(smoke))
 	}
-	if len(full) != 16 {
-		t.Fatalf("full matrix has %d points, want 16", len(full))
+	if len(full) != 20 {
+		t.Fatalf("full matrix has %d points, want 20", len(full))
 	}
 	seen := map[string]bool{}
 	for _, p := range full {
@@ -223,6 +223,18 @@ func TestCompareTolaranceBandFormatting(t *testing.T) {
 		if !strings.Contains(details, want) {
 			t.Errorf("band %q missing from regression messages:\n%s", want, details)
 		}
+	}
+
+	// Sub-0.1% bands keep full precision instead of the three significant
+	// digits %.3g used to clamp them to.
+	if got, want := pct(0.000625), "0.0625%"; got != want {
+		t.Errorf("pct(0.000625) = %q, want %q", got, want)
+	}
+	if got, want := pct(0.0012345), "0.12345%"; got != want {
+		t.Errorf("pct(0.0012345) = %q, want %q", got, want)
+	}
+	if got, want := pct(0.25), "25%"; got != want {
+		t.Errorf("pct(0.25) = %q, want %q", got, want)
 	}
 }
 

@@ -170,6 +170,49 @@ func (p PlacePolicy) String() string {
 	}
 }
 
+// ClassPolicy selects the execution-locality classifier that drives the
+// HL->LL migration decision (internal/predict).
+type ClassPolicy uint8
+
+const (
+	// ClassReactive is the paper's rule: an instruction whose operands
+	// become ready more than MigrateThreshold cycles after dispatch is
+	// classified low-locality, plus the post-issue migration of loads that
+	// miss to memory. The default, and bit-identical to the simulator that
+	// predated the prediction layer.
+	ClassReactive ClassPolicy = iota
+	// ClassCacheLevel augments the reactive rule with a tagged cache-level
+	// history predictor: loads whose line is predicted to miss to memory
+	// are classified low-locality already at dispatch, so migration
+	// overlaps the miss instead of waiting for it to be discovered
+	// (Jalili & Erez, arXiv 2103.14808).
+	ClassCacheLevel
+	// ClassDelayTrack augments the reactive rule with tracked per-line
+	// load-delay estimates: a load migrates when its readiness slack plus
+	// its predicted access delay exceeds the threshold (Diavastos &
+	// Carlson, arXiv 2109.03112).
+	ClassDelayTrack
+)
+
+// String implements fmt.Stringer.
+func (p ClassPolicy) String() string {
+	switch p {
+	case ClassReactive:
+		return "reactive"
+	case ClassCacheLevel:
+		return "cachelevel"
+	case ClassDelayTrack:
+		return "delaytrack"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(p))
+	}
+}
+
+// DefaultClassTableBits is the predictor-table index width the cachelevel
+// and delaytrack policies use when Config.ClassTableBits is zero: 1024
+// tagged entries of 8 bytes, an 8KB SRAM-class structure.
+const DefaultClassTableBits = 10
+
 // SVWVariant selects how SVW decides whether a forwarded load must
 // re-execute (Section 5.6).
 type SVWVariant uint8
@@ -265,6 +308,16 @@ type Config struct {
 	// Place selects the epoch->bank placement policy (FMC only; mod-N by
 	// default, encoded only when non-default).
 	Place PlacePolicy `json:",omitempty"`
+	// Class selects the execution-locality classification policy
+	// (internal/predict; FMC only). The zero value is the reactive rule and
+	// encodes to nothing in the canonical form, so every legacy
+	// sweep/checkpoint/golden key is unchanged.
+	Class ClassPolicy `json:",omitempty"`
+	// ClassTableBits is the log2 entry count of the predictor table behind
+	// the cachelevel and delaytrack policies. 0 means DefaultClassTableBits
+	// and encodes identically; the field is ignored (and normalised away)
+	// under the reactive policy.
+	ClassTableBits int `json:",omitempty"`
 
 	// ERT selects the global-disambiguation filter (ELSQ only).
 	ERT ERTKind
@@ -465,6 +518,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: SSBFBits %d out of range [1,24]", c.SSBFBits)
 	case c.NoCLinkWidth < 0 || c.NoCLinkWidth > 255:
 		return fmt.Errorf("config: NoCLinkWidth %d out of range [0,255]", c.NoCLinkWidth)
+	case c.ClassTableBits < 0 || c.ClassTableBits > 24:
+		return fmt.Errorf("config: ClassTableBits %d out of range [0,24] (0 = default)", c.ClassTableBits)
 	case c.MaxInsts == 0:
 		return fmt.Errorf("config: MaxInsts must be positive")
 	case c.SampleIntervals < 0:
@@ -517,10 +572,34 @@ func (c *Config) traceIdentity() string {
 	return c.TracePath
 }
 
+// ClassBits returns the effective predictor-table index width:
+// ClassTableBits, or DefaultClassTableBits when unset.
+func (c *Config) ClassBits() int {
+	if c.ClassTableBits == 0 {
+		return DefaultClassTableBits
+	}
+	return c.ClassTableBits
+}
+
 // Name returns a short human-readable identifier for the configuration, in
 // the style of the paper's Table 2 row labels (e.g. "FMC-Hash-SQM",
-// "OoO-64-SVW").
+// "OoO-64-SVW"). Non-reactive classification policies append a "+CLP" /
+// "+DTP" marker on FMC configurations.
 func (c *Config) Name() string {
+	name := c.baseName()
+	if c.Model == ModelFMC {
+		switch c.Class {
+		case ClassCacheLevel:
+			name += "+CLP"
+		case ClassDelayTrack:
+			name += "+DTP"
+		}
+	}
+	return name
+}
+
+// baseName is the classifier-free Table 2 row label.
+func (c *Config) baseName() string {
 	if c.Model == ModelOoO {
 		if c.LSQ == LSQSVW {
 			return "OoO-64-SVW"

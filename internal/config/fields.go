@@ -152,6 +152,19 @@ func fieldRegistry() []FieldSpec {
 			Get: func(c *Config) string { return c.Place.String() },
 		},
 		{
+			Name: "class.policy", Doc: "execution-locality classifier: reactive | cachelevel | delaytrack",
+			Set: func(c *Config, v string) error {
+				p, err := ParseClassPolicy(v)
+				if err != nil {
+					return err
+				}
+				c.Class = p
+				return nil
+			},
+			Get: func(c *Config) string { return c.Class.String() },
+		},
+		intField("class.bits", "predictor-table index width (bits, 0 = default)", func(c *Config) *int { return &c.ClassTableBits }),
+		{
 			Name: "ert", Doc: "ELSQ global-disambiguation filter: line | hash",
 			Set: func(c *Config, v string) error {
 				k, err := ParseERTKind(v)

@@ -32,6 +32,11 @@ func (c *Config) Canonical() []byte {
 	if cc.NoC == NoCAnalytic || cc.NoCLinkWidth == 1 {
 		cc.NoCLinkWidth = 0
 	}
+	// Predictor-table geometry is dead under the reactive policy, and 0 and
+	// the default width both mean DefaultClassTableBits entries.
+	if cc.Class == ClassReactive || cc.ClassTableBits == DefaultClassTableBits {
+		cc.ClassTableBits = 0
+	}
 	b, err := json.Marshal(&cc)
 	if err != nil {
 		// Config is a flat struct of ints, bools and text-marshalling

@@ -63,6 +63,19 @@ func ParseDisambiguation(s string) (Disambiguation, error) {
 	return 0, fmt.Errorf("config: unknown disambiguation %q (want full | rsac | rlac | rsaclac)", s)
 }
 
+// ParseClassPolicy parses an execution-locality classifier name.
+func ParseClassPolicy(s string) (ClassPolicy, error) {
+	switch strings.ToLower(s) {
+	case "reactive":
+		return ClassReactive, nil
+	case "cachelevel", "cache-level", "clp":
+		return ClassCacheLevel, nil
+	case "delaytrack", "delay-track", "dtp":
+		return ClassDelayTrack, nil
+	}
+	return 0, fmt.Errorf("config: unknown classification policy %q (want reactive | cachelevel | delaytrack)", s)
+}
+
 // ParseSVWVariant parses an SVW filtering-variant name.
 func ParseSVWVariant(s string) (SVWVariant, error) {
 	switch strings.ToLower(s) {
@@ -182,6 +195,19 @@ func (p PlacePolicy) MarshalText() ([]byte, error) { return []byte(p.String()), 
 // UnmarshalText implements encoding.TextUnmarshaler.
 func (p *PlacePolicy) UnmarshalText(b []byte) error {
 	v, err := ParsePlacePolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p ClassPolicy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *ClassPolicy) UnmarshalText(b []byte) error {
+	v, err := ParseClassPolicy(string(b))
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/lsq"
 	"repro/internal/mem"
+	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -82,6 +83,16 @@ func (a *laneArena) lineArena() *mem.LineArena {
 	return a.lines
 }
 
+// classifier builds one lane's execution-locality classifier, carving its
+// predictor-table words from the shared slab when batched (zero words for
+// the reactive policy).
+func (a *laneArena) classifier(cfg *config.Config) predict.Classifier {
+	if a == nil {
+		return predict.New(cfg)
+	}
+	return predict.NewIn(cfg, a.takeU64(predict.TableWords(cfg)))
+}
+
 // storeIndex builds one lane's StoreIndex, with a slab-backed bucket table
 // and a pre-seeded record pool when batched.
 func (a *laneArena) storeIndex() *lsq.StoreIndex {
@@ -114,6 +125,7 @@ func NewBatch(cfgs []config.Config, gens []workload.Source) ([]*Sim, error) {
 	var nu64, ni64, nptr, nops, nlines int
 	for i := range cfgs {
 		nu64 += (numCalendars + fabricCalendars(&cfgs[i])) * sched.CalendarSlots(calHorizonFor(&cfgs[i]))
+		nu64 += predict.TableWords(&cfgs[i])
 		for _, c := range ringCapsFor(&cfgs[i]) {
 			if c > 0 {
 				ni64 += c

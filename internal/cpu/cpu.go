@@ -28,6 +28,7 @@ import (
 	"repro/internal/lsq"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/svw"
@@ -163,6 +164,13 @@ type Sim struct {
 	storeIx *lsq.StoreIndex
 	obs     CommitObserver
 
+	// class is the execution-locality classifier (internal/predict) behind
+	// the HL/LL migration decision; classQ is its lane-resident query
+	// scratch, lifted to a field so the per-instruction interface call
+	// never escapes anything to the heap.
+	class  predict.Classifier
+	classQ predict.Query
+
 	nextFetchMin int64
 	lastCommit   int64
 	lastMigrate  int64
@@ -227,6 +235,7 @@ func newSim(cfg config.Config, gen workload.Source, ar *laneArena) (*Sim, error)
 		loadDist:  stats.NewHistogram(30, 50),
 		storeDist: stats.NewHistogram(30, 50),
 	}
+	s.class = ar.classifier(&cfg)
 	s.cCache = s.c.Handle("cache")
 	s.cMispredict = s.c.Handle("mispredict")
 	s.cViolation = s.c.Handle("violation")
@@ -502,15 +511,14 @@ func (s *Sim) step(in *isa.Inst) {
 	addrReady := r1 // loads/stores: Src1 is the address source
 	dataReady := r2 // stores: Src2 is the data source
 
-	// --- execution-locality classification ---
+	// --- execution-locality classification (internal/predict) ---
+	// The classifier owns only the dispatch-time HL/LL decision; the RLAC
+	// override below and the store ride-along are scheme constraints that
+	// apply identically under every policy, so they stay here.
 	llExec := false
 	if s.cfg.Model == config.ModelFMC {
-		rel := ready
-		if isLoad {
-			rel = addrReady
-		}
-		threshold := int64(s.cfg.MigrateThreshold)
-		llExec = rel-dispatch > threshold
+		s.classQ = predict.Query{In: in, Dispatch: dispatch, Ready: ready, AddrReady: addrReady}
+		llExec = s.class.LowLocality(&s.classQ)
 		if isLoad && llExec &&
 			(s.cfg.Disamb == config.DisambRLAC || s.cfg.Disamb == config.DisambRSACLAC) {
 			// Restricted LAC: the load must compute its address in the
@@ -742,6 +750,10 @@ func (s *Sim) execLoad(op *lsq.MemOp, llExec bool, epochV int64, migT int64) (do
 	*s.cCache++
 	*s.cLoadLevel[level]++
 	*s.aAccess[level]++
+	// Train the locality classifier with the committed outcome (the sweep
+	// is program-ordered, so this is commit-order training; wrong-path
+	// loads never reach it).
+	s.class.ObserveLoad(op.Addr, level, int64(lat))
 	switch {
 	case res.Forwarded:
 		op.FwdSeq = res.Source.Seq

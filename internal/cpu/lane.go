@@ -178,6 +178,10 @@ func (l *Lane) Finish() *Result {
 	// read out here. Plain Add keeps the name set deterministic per
 	// configuration; the bag is excluded from golden and bench digests.
 	res.Activity = s.act
+	// Classifier accuracy and table activity (internal/predict): the
+	// reactive policy keeps none, so default-config runs keep their exact
+	// counter set.
+	s.class.Flush(res.Counters, res.Activity)
 	if a, ok := s.scheme.(interface{ Activity() *stats.Counters }); ok {
 		res.Activity.Merge(a.Activity())
 	}

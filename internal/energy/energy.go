@@ -242,6 +242,12 @@ func structuresFor(cfg *config.Config) []structure {
 		out = append(out, structure{name: "ssbf", class: classFilter,
 			kb: float64(uint64(1)<<cfg.SSBFBits) * 2 / 1024})
 	}
+	if fmc && cfg.Class != config.ClassReactive {
+		// Execution-locality predictor table (internal/predict): one tagged
+		// 8-byte entry per slot, SRAM-class like the other small filters.
+		out = append(out, structure{name: "pred", class: classFilter,
+			kb: float64(uint64(1)<<cfg.ClassBits()) * 8 / 1024})
+	}
 	out = append(out,
 		structure{name: "l1", class: classSRAM, kb: float64(cfg.L1.SizeBytes) / 1024},
 		structure{name: "l2", class: classSRAM, kb: float64(cfg.L2.SizeBytes) / 1024, l2: true},
@@ -307,6 +313,8 @@ func Actions() []Action {
 		{Name: "sqm_update", Structure: "sqm", kind: actWrite},
 		{Name: "ssbf_read", Structure: "ssbf", FromActivity: true, kind: actAccess},
 		{Name: "ssbf_write", Structure: "ssbf", FromActivity: true, kind: actWrite},
+		{Name: "pred_read", Structure: "pred", FromActivity: true, kind: actAccess},
+		{Name: "pred_write", Structure: "pred", FromActivity: true, kind: actWrite},
 		{Name: "l1_access", Structure: "l1", FromActivity: true, kind: actAccess},
 		{Name: "l2_access", Structure: "l2", FromActivity: true, kind: actAccess},
 		{Name: "mem_access", Structure: "mem_if", FromActivity: true, kind: actMem},

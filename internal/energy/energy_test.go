@@ -198,6 +198,10 @@ func TestActionLiveness(t *testing.T) {
 			c.Model = config.ModelOoO
 			c.LSQ = config.LSQConventional
 		}), "mcf"},
+		// A non-reactive classifier instantiates the predictor table, so
+		// its read/write pair fires (the reactive default never books pred
+		// activity — the structure is absent and Compute would error).
+		{"cachelevel", quickCfg(func(c *config.Config) { c.Class = config.ClassCacheLevel }), "mcf"},
 		// Least-loaded placement over a small mesh readily places epochs
 		// off their mod-N home, so their state blocks cross the mesh:
 		// epoch steals, migration flits and link hops all fire here.

@@ -69,6 +69,8 @@ var fuzzAxes = []struct {
 	{"noc.model", []string{"analytic", "contended"}},
 	{"noc.linkwidth", []string{"1", "2", "4"}},
 	{"place.policy", []string{"modn", "leastloaded", "steal"}},
+	{"class.policy", []string{"reactive", "cachelevel", "delaytrack"}},
+	{"class.bits", []string{"6", "8", "10", "12"}},
 	{"energy.table", []string{"base", "hp", "lp"}},
 }
 

@@ -41,6 +41,8 @@ func schemeConfigs() map[string]config.Config {
 		"elsq-rsac":       mk(func(c *config.Config) { c.Disamb = config.DisambRSAC }),
 		"elsq-rlac":       mk(func(c *config.Config) { c.Disamb = config.DisambRLAC }),
 		"elsq-rsaclac":    mk(func(c *config.Config) { c.Disamb = config.DisambRSACLAC }),
+		"elsq-clp":        mk(func(c *config.Config) { c.Class = config.ClassCacheLevel }),
+		"elsq-dtp":        mk(func(c *config.Config) { c.Class = config.ClassDelayTrack }),
 		"central":         mk(func(c *config.Config) { c.LSQ = config.LSQCentral }),
 		"svw-fmc":         mk(func(c *config.Config) { c.LSQ = config.LSQSVW }),
 		"svw-fmc-check":   mk(func(c *config.Config) { c.LSQ = config.LSQSVW; c.SVW = config.SVWCheckStores }),

@@ -34,6 +34,8 @@ var laneAxes = []struct {
 	{"central", func(c *config.Config) { c.LSQ = config.LSQCentral }},
 	{"svw", func(c *config.Config) { c.LSQ = config.LSQSVW }},
 	{"migrate24", func(c *config.Config) { c.MigrateThreshold = 24 }},
+	{"cachelevel", func(c *config.Config) { c.Class = config.ClassCacheLevel }},
+	{"delaytrack", func(c *config.Config) { c.Class = config.ClassDelayTrack }},
 	{"epochs4", func(c *config.Config) { c.NumEpochs = 4 }},
 	{"mem250", func(c *config.Config) { c.MemLatency = 250 }},
 	{"mispredict", func(c *config.Config) { c.MispredictPenalty += 3 }},

@@ -27,7 +27,7 @@ type Source struct {
 	wp *workload.WrongPathSynth
 
 	pos      uint64     // next record index (== instructions consumed)
-	buf      []isa.Inst // decoded block
+	buf      []isa.Inst // current block, shared via Trace.Block — never written
 	bufStart uint64     // record index of buf[0]; len(buf) == 0 means no block loaded
 	// over generates instructions past the recording (lazily built).
 	over *workload.Generator
@@ -50,14 +50,16 @@ func (s *Source) Name() string { return s.t.meta.Bench }
 // Suite implements workload.Source.
 func (s *Source) Suite() workload.Suite { return s.t.meta.Suite }
 
-// loadBlock decodes the block holding record index pos into the buffer.
+// loadBlock points the cursor at the block holding record index pos,
+// fetched through the trace's shared decoded-block cache so lanes replaying
+// the same recording decode each block once per group, not once per lane.
 // The trace was fully verified at Source construction and the file image is
 // immutable in memory, so a decode failure here is unreachable short of
 // memory corruption — it panics rather than returning an error the Source
 // interface has no channel for.
 func (s *Source) loadBlock(pos uint64) {
 	i := s.t.blockFor(pos)
-	buf, err := s.t.decodeBlock(i, s.buf[:0])
+	buf, err := s.t.Block(i)
 	if err != nil {
 		panic(fmt.Sprintf("trace: %s: verified block %d failed to decode: %v", s.t.meta.Bench, i, err))
 	}

@@ -117,8 +117,9 @@ type blockInfo struct {
 	start   uint64 // record index of the block's first record
 }
 
-// Trace is an opened, structurally validated trace. It is immutable and
-// safe for concurrent use: every mutable cursor lives in a Source.
+// Trace is an opened, structurally validated trace. It is immutable apart
+// from internal caches and safe for concurrent use: every mutable cursor
+// lives in a Source.
 type Trace struct {
 	meta   Meta
 	data   []byte
@@ -126,6 +127,58 @@ type Trace struct {
 
 	verifyOnce sync.Once
 	verifyErr  error
+
+	// Decoded-block cache shared by every Source over this trace: K batch
+	// lanes replaying the same recording in near-lockstep each want the same
+	// block at nearly the same time, so the group decompresses it once
+	// instead of once per lane. Records carry absolute sequence numbers
+	// (blockInfo.start), making a decoded block position-independent and
+	// therefore shareable; cached slices are immutable and readers must not
+	// modify them. A small FIFO bounds residency: lanes drift by at most a
+	// few blocks, so a handful of resident blocks covers a whole group while
+	// a full-trace cache would defeat the "never materialised" promise.
+	blockMu    sync.Mutex
+	blockCache map[int][]isa.Inst
+	blockFIFO  []int
+	decodes    uint64
+}
+
+// blockCacheCap bounds how many decoded blocks a Trace keeps resident.
+const blockCacheCap = 8
+
+// Block returns the decoded records of block i as a shared immutable slice,
+// decoding (and caching) it on first request. Callers must not modify the
+// returned slice.
+func (t *Trace) Block(i int) ([]isa.Inst, error) {
+	t.blockMu.Lock()
+	defer t.blockMu.Unlock()
+	if recs, ok := t.blockCache[i]; ok {
+		return recs, nil
+	}
+	recs, err := t.decodeBlock(i, make([]isa.Inst, 0, t.blocks[i].count))
+	if err != nil {
+		return nil, err
+	}
+	t.decodes++
+	if t.blockCache == nil {
+		t.blockCache = make(map[int][]isa.Inst, blockCacheCap)
+	}
+	if len(t.blockFIFO) == blockCacheCap {
+		delete(t.blockCache, t.blockFIFO[0])
+		t.blockFIFO = t.blockFIFO[1:]
+	}
+	t.blockCache[i] = recs
+	t.blockFIFO = append(t.blockFIFO, i)
+	return recs, nil
+}
+
+// Decodes reports how many block decodes Block has performed (cache misses;
+// hits served from the resident set do not count). It exists so tests can
+// pin the decode-once-per-group property.
+func (t *Trace) Decodes() uint64 {
+	t.blockMu.Lock()
+	defer t.blockMu.Unlock()
+	return t.decodes
 }
 
 // Meta returns the trace's identity.

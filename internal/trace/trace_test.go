@@ -348,3 +348,76 @@ func TestZigzag(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedBlockCache pins the decode-once-per-group property: K sources
+// replaying the same trace in near-lockstep share each decoded block
+// through the trace's cache, so the group performs one decode per block —
+// not one per lane — while every lane still sees the exact live stream.
+func TestSharedBlockCache(t *testing.T) {
+	const n, blockRecords, lanes = 8_000, 512, 6
+	data := record(t, "mcf", 5, n, blockRecords)
+	tr := mustOpen(t, data)
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Decodes(); got != 0 {
+		t.Fatalf("Verify counted %d decodes; the hook must count only shared-cache misses", got)
+	}
+
+	prof, _ := workload.ByName("mcf")
+	lives := make([]*workload.Generator, lanes)
+	srcs := make([]*Source, lanes)
+	for k := 0; k < lanes; k++ {
+		lives[k] = prof.New(5)
+		srcs[k] = mustSource(t, tr)
+	}
+	// Interleave in chunks smaller than a block so every lane crosses each
+	// block boundary while it is still resident.
+	var want, got isa.Inst
+	for consumed := 0; consumed < n; consumed += 100 {
+		for k := 0; k < lanes; k++ {
+			for i := 0; i < 100; i++ {
+				lives[k].Next(&want)
+				srcs[k].Next(&got)
+				if got != want {
+					t.Fatalf("lane %d record %d replayed as %+v, live %+v", k, consumed+i, got, want)
+				}
+			}
+		}
+	}
+	wantDecodes := uint64(len(tr.blocks))
+	if got := tr.Decodes(); got != wantDecodes {
+		t.Fatalf("%d lanes performed %d block decodes, want one per block (%d)", lanes, got, wantDecodes)
+	}
+}
+
+// TestBlockCacheBounded: a straggler re-requesting long-evicted blocks
+// re-decodes them (the resident set is a bounded FIFO, not the whole trace)
+// and still reads the right records.
+func TestBlockCacheBounded(t *testing.T) {
+	const n, blockRecords = uint64(8_000), 512
+	data := record(t, "swim", 9, n, blockRecords)
+	tr := mustOpen(t, data)
+	nblocks := len(tr.blocks)
+	if nblocks <= blockCacheCap {
+		t.Fatalf("trace has %d blocks; the test wants more than the %d-block cache", nblocks, blockCacheCap)
+	}
+	for i := 0; i < nblocks; i++ {
+		if _, err := tr.Block(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resident := len(tr.blockCache); resident != blockCacheCap {
+		t.Fatalf("%d blocks resident after a full sweep, want %d", resident, blockCacheCap)
+	}
+	recs, err := tr.Block(0) // long evicted: must decode again, correctly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Decodes() != uint64(nblocks)+1 {
+		t.Fatalf("decode count %d after re-request, want %d", tr.Decodes(), nblocks+1)
+	}
+	if len(recs) != blockRecords || recs[0].Seq != 0 {
+		t.Fatalf("re-decoded block 0 wrong: %d records, first seq %d", len(recs), recs[0].Seq)
+	}
+}
